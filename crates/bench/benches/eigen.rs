@@ -1,0 +1,36 @@
+//! Microbench: symmetric eigensolver (the Fock diagonalization step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_linalg::{eigh, Mat};
+
+fn random_symmetric(n: usize) -> Mat {
+    let mut state = 12345u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let mut a = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let x = next();
+            a[(i, j)] = x;
+            a[(j, i)] = x;
+        }
+    }
+    a
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eigh");
+    g.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let a = random_symmetric(n);
+        g.bench_function(format!("eigh_{n}"), |b| {
+            b.iter(|| black_box(eigh(black_box(&a)).values[0]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eigh);
+criterion_main!(benches);

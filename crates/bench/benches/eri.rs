@@ -1,0 +1,45 @@
+//! Microbench: contracted ERI shell quartets by angular/contraction class.
+//!
+//! These per-class costs are exactly what `phi-knlsim::calibrate` feeds the
+//! cluster simulator, so this bench doubles as a visibility check on the
+//! calibration inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_chem::basis::{BasisName, BasisSet};
+use phi_chem::geom::small;
+use phi_integrals::EriEngine;
+
+fn bench_eri(c: &mut Criterion) {
+    let basis = BasisSet::build(&small::c_ring(6, 1.39), BasisName::B631gd);
+    // Carbon 6-31G(d) shell order per atom: S6, L3, L1, D1.
+    let s6 = &basis.shells[0];
+    let l3 = &basis.shells[1];
+    let d1 = &basis.shells[3];
+    let s6b = &basis.shells[4];
+    let l3b = &basis.shells[5];
+    let d1b = &basis.shells[7];
+
+    let mut g = c.benchmark_group("eri_quartet");
+    g.sample_size(40);
+    let cases = [
+        ("(S6 S6|S6 S6) heaviest contraction", s6, s6b, s6, s6b),
+        ("(L3 L3|L3 L3) sp shells", l3, l3b, l3, l3b),
+        ("(D1 D1|D1 D1) highest angular momentum", d1, d1b, d1, d1b),
+        ("(S6 L3|L1 D1) mixed", s6, l3, &basis.shells[2], d1b),
+    ];
+    for (name, a, b, cc, d) in cases {
+        let len = a.n_functions() * b.n_functions() * cc.n_functions() * d.n_functions();
+        let mut buf = vec![0.0; len];
+        let mut engine = EriEngine::new();
+        g.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                engine.shell_quartet(black_box(a), b, cc, d, &mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eri);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation bench for the paper's Figure 1 data structure: padded-column
+//! buffers with chunked parallel tree reduction vs a naive serial flush.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_omp::{PaddedColumns, SharedAccumulator, Team};
+
+fn bench_reduction(c: &mut Criterion) {
+    let len = 64 * 1024;
+    let cols = 4;
+
+    let mut g = c.benchmark_group("figure1_reduction");
+    g.sample_size(20);
+
+    g.bench_function("parallel_chunked_tree_flush", |b| {
+        let p = PaddedColumns::new(len, cols);
+        let dst = SharedAccumulator::new(len);
+        let team = Team::new(cols);
+        b.iter(|| {
+            team.parallel(|ctx| {
+                let col = p.col_mut(ctx.thread_num());
+                for v in col.iter_mut() {
+                    *v = 1.0;
+                }
+                p.flush_into(ctx, &dst, 0);
+            });
+            black_box(dst.load(0))
+        })
+    });
+
+    g.bench_function("serial_flush_baseline", |b| {
+        let p = PaddedColumns::new(len, cols);
+        let mut dst = vec![0.0; len];
+        b.iter(|| {
+            for col in 0..cols {
+                for v in p.col_mut(col).iter_mut() {
+                    *v = 1.0;
+                }
+            }
+            p.flush_serial(&mut dst, 0);
+            black_box(dst[0])
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Runs the design-choice ablations of DESIGN.md §5: lazy FI flushing,
+//! ij-task prescreening, OpenMP schedule, and task-partitioning load
+//! balance.
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+
+fn main() {
+    let quick = quick_mode();
+    let ctx = context(PaperSystem::Nm10, quick);
+    println!("{}", scenarios::ablation_flush(&ctx));
+    println!("{}", scenarios::ablation_prescreen(&ctx));
+    println!("{}", scenarios::ablation_schedule(&ctx));
+    println!("{}", scenarios::ablation_loadbalance(&ctx, 16));
+    println!("{}", scenarios::crossover(&ctx));
+}

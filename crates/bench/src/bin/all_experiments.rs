@@ -1,0 +1,57 @@
+//! Runs every experiment of the paper in sequence (Tables 2–4, Figures
+//! 3–7, and the ablations). Pass `--quick` for the CI-sized smoke variant.
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+use std::process::Command;
+
+fn main() {
+    let quick = quick_mode();
+
+    // Table 2 / Table 4 live in their own binary (they need no workload);
+    // invoke it if available, otherwise skip gracefully (e.g. `cargo run`
+    // of this binary alone).
+    let exe = std::env::current_exe().ok().and_then(|p| {
+        let sibling = p.with_file_name(if cfg!(windows) { "table2.exe" } else { "table2" });
+        sibling.exists().then_some(sibling)
+    });
+    match exe {
+        Some(table2) => {
+            let out = Command::new(table2).output().expect("run table2");
+            print!("{}", String::from_utf8_lossy(&out.stdout));
+        }
+        None => eprintln!("[skip] table2 binary not built alongside; run `cargo run -p phi-bench --bin table2`"),
+    }
+
+    // Single-node studies on the 1.0 nm dataset.
+    let ctx10 = context(PaperSystem::Nm10, quick);
+    println!("{}", scenarios::fig3(&ctx10));
+    println!("{}", scenarios::fig4(&ctx10));
+
+    // Mode study on 0.5 nm + 2.0 nm.
+    let ctx05 = context(PaperSystem::Nm05, quick);
+    let mut ctx20 = context(PaperSystem::Nm20, quick);
+    println!("{}", scenarios::fig5(&ctx05, &ctx20));
+
+    // Multi-node scaling (anchored) on 2.0 nm.
+    if !quick {
+        let scale = ctx20.anchor(4, 1318.0);
+        eprintln!("[anchor] time scale {scale:.3}");
+    }
+    println!("{}", scenarios::fig6_table3(&ctx20));
+
+    // 5.0 nm at up to 3,000 nodes.
+    let ctx50 = context(PaperSystem::Nm50, quick);
+    println!("{}", scenarios::fig7(&ctx50));
+
+    // Ablations. The ij-task prescreen matters most for the sparsest
+    // system (paper: "especially important for very large jobs with very
+    // sparse ERI tensor"), so it also runs on the 5.0 nm workload.
+    println!("{}", scenarios::ablation_flush(&ctx10));
+    println!("{}", scenarios::ablation_prescreen(&ctx10));
+    println!("{}", scenarios::ablation_prescreen(&ctx50));
+    println!("{}", scenarios::ablation_schedule(&ctx10));
+    println!("{}", scenarios::ablation_loadbalance(&ctx10, 16));
+    println!("{}", scenarios::crossover(&ctx20));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: shared-Fock performance vs OpenMP thread affinity
+//! type on a single node (1.0 nm dataset, 4 MPI ranks, 1–64 threads/rank,
+//! quad-cache).
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+
+fn main() {
+    let ctx = context(PaperSystem::Nm10, quick_mode());
+    phi_bench::emit(&scenarios::fig3(&ctx), "fig3");
+}

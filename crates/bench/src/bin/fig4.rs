@@ -1,0 +1,11 @@
+//! Regenerates Figure 4: single-node scalability of the three codes with
+//! respect to hardware threads (1.0 nm dataset, quad-cache).
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+
+fn main() {
+    let ctx = context(PaperSystem::Nm10, quick_mode());
+    phi_bench::emit(&scenarios::fig4(&ctx), "fig4");
+}

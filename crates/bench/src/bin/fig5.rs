@@ -1,0 +1,13 @@
+//! Regenerates Figure 5: time-to-solution under different KNL clustering
+//! and memory modes for the small (0.5 nm) and large (2.0 nm) datasets.
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+
+fn main() {
+    let quick = quick_mode();
+    let small = context(PaperSystem::Nm05, quick);
+    let large = context(PaperSystem::Nm20, quick);
+    phi_bench::emit(&scenarios::fig5(&small, &large), "fig5");
+}

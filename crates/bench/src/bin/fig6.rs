@@ -1,0 +1,17 @@
+//! Regenerates Figure 6: multi-node scalability of the three codes
+//! (2.0 nm dataset, 4–512 nodes), anchored to the paper's single published
+//! shared-Fock point at 4 nodes (1318 s, Table 3).
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+
+fn main() {
+    let quick = quick_mode();
+    let mut ctx = context(PaperSystem::Nm20, quick);
+    if !quick {
+        let scale = ctx.anchor(4, 1318.0);
+        eprintln!("[anchor] time scale set to {scale:.3} (ShF @ 4 nodes == 1318 s)");
+    }
+    phi_bench::emit(&scenarios::fig6_table3(&ctx), "fig6_table3");
+}

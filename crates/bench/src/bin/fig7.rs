@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: shared-Fock scaling of the 5.0 nm dataset
+//! (30,240 basis functions) up to 3,000 nodes / 192,000 cores.
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::scenarios;
+
+fn main() {
+    let ctx = context(PaperSystem::Nm50, quick_mode());
+    phi_bench::emit(&scenarios::fig7(&ctx), "fig7");
+}

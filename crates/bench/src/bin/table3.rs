@@ -1,0 +1,35 @@
+//! Regenerates Table 3: time-to-solution and parallel efficiency of the
+//! three codes on the 2.0 nm dataset, 4–512 nodes, printed side by side
+//! with the paper's published values.
+
+use phi_bench::{context, quick_mode};
+use phi_chem::geom::graphene::PaperSystem;
+use phi_knlsim::report::Table;
+use phi_knlsim::scenarios::{self, PAPER_TABLE3};
+
+fn main() {
+    let quick = quick_mode();
+    let mut ctx = context(PaperSystem::Nm20, quick);
+    if !quick {
+        let scale = ctx.anchor(4, 1318.0);
+        eprintln!("[anchor] time scale set to {scale:.3} (ShF @ 4 nodes == 1318 s)");
+    }
+    println!("{}", scenarios::fig6_table3(&ctx));
+
+    let mut paper = Table::new(
+        "Table 3 — the paper's published values (for comparison)",
+        &["nodes", "MPI s", "PrF s", "ShF s", "MPI eff%", "PrF eff%", "ShF eff%"],
+    );
+    for (nodes, times, effs) in PAPER_TABLE3 {
+        paper.row(vec![
+            nodes.to_string(),
+            format!("{:.0}", times[0]),
+            format!("{:.0}", times[1]),
+            format!("{:.0}", times[2]),
+            format!("{:.0}", effs[0]),
+            format!("{:.0}", effs[1]),
+            format!("{:.0}", effs[2]),
+        ]);
+    }
+    println!("{paper}");
+}

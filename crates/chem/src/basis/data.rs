@@ -1,0 +1,274 @@
+//! Literal basis-set data (exponents and raw contraction coefficients) for
+//! H, He, C, N, O — everything the paper's graphene systems and the
+//! validation molecules require.
+//!
+//! Values are the standard published Pople parameters (Hehre/Ditchfield/
+//! Pople STO-3G and 6-31G families, as distributed by GAMESS and the EMSL
+//! basis set exchange). Raw coefficients are stored unnormalized; the
+//! builder in [`super`] normalizes them.
+
+use crate::basis::BasisName;
+use crate::element::Element;
+
+/// One shell's worth of raw data: shared exponents plus one `(l, coefs)`
+/// block per angular momentum (two blocks for combined SP shells).
+pub struct ShellData {
+    pub exps: &'static [f64],
+    pub blocks: &'static [(usize, &'static [f64])],
+}
+
+// ---------------------------------------------------------------- STO-3G --
+
+const STO3G_H: &[ShellData] = &[ShellData {
+    exps: &[3.425250914, 0.6239137298, 0.1688554040],
+    blocks: &[(0, &[0.1543289673, 0.5353281423, 0.4446345422])],
+}];
+
+const STO3G_HE: &[ShellData] = &[ShellData {
+    exps: &[6.362421394, 1.158922999, 0.3136497915],
+    blocks: &[(0, &[0.1543289673, 0.5353281423, 0.4446345422])],
+}];
+
+const STO3G_C: &[ShellData] = &[
+    ShellData {
+        exps: &[71.61683735, 13.04509632, 3.530512160],
+        blocks: &[(0, &[0.1543289673, 0.5353281423, 0.4446345422])],
+    },
+    ShellData {
+        exps: &[2.941249355, 0.6834830964, 0.2222899159],
+        blocks: &[
+            (0, &[-0.09996722919, 0.3995128261, 0.7001154689]),
+            (1, &[0.1559162750, 0.6076837186, 0.3919573931]),
+        ],
+    },
+];
+
+const STO3G_N: &[ShellData] = &[
+    ShellData {
+        exps: &[99.10616896, 18.05231239, 4.885660238],
+        blocks: &[(0, &[0.1543289673, 0.5353281423, 0.4446345422])],
+    },
+    ShellData {
+        exps: &[3.780455879, 0.8784966449, 0.2857143744],
+        blocks: &[
+            (0, &[-0.09996722919, 0.3995128261, 0.7001154689]),
+            (1, &[0.1559162750, 0.6076837186, 0.3919573931]),
+        ],
+    },
+];
+
+const STO3G_O: &[ShellData] = &[
+    ShellData {
+        exps: &[130.7093214, 23.80886605, 6.443608313],
+        blocks: &[(0, &[0.1543289673, 0.5353281423, 0.4446345422])],
+    },
+    ShellData {
+        exps: &[5.033151319, 1.169596125, 0.3803889600],
+        blocks: &[
+            (0, &[-0.09996722919, 0.3995128261, 0.7001154689]),
+            (1, &[0.1559162750, 0.6076837186, 0.3919573931]),
+        ],
+    },
+];
+
+// ----------------------------------------------------------------- 6-31G --
+
+const B631G_H: &[ShellData] = &[
+    ShellData {
+        exps: &[18.73113696, 2.825394365, 0.6401216923],
+        blocks: &[(0, &[0.03349460434, 0.2347269535, 0.8137573261])],
+    },
+    ShellData { exps: &[0.1612777588], blocks: &[(0, &[1.0])] },
+];
+
+const B631G_HE: &[ShellData] = &[
+    ShellData {
+        exps: &[38.42163400, 5.778030000, 1.241774000],
+        blocks: &[(0, &[0.02376600, 0.1546790, 0.4696300])],
+    },
+    ShellData { exps: &[0.2979640], blocks: &[(0, &[1.0])] },
+];
+
+const B631G_C: &[ShellData] = &[
+    ShellData {
+        exps: &[3047.524880, 457.3695180, 103.9486850, 29.21015530, 9.286662960, 3.163926960],
+        blocks: &[(
+            0,
+            &[0.001834737132, 0.01403732281, 0.06884262226, 0.2321844432, 0.4679413484, 0.3623119853],
+        )],
+    },
+    ShellData {
+        exps: &[7.868272350, 1.881288540, 0.5442492580],
+        blocks: &[
+            (0, &[-0.1193324198, -0.1608541517, 1.143456438]),
+            (1, &[0.06899906659, 0.3164239610, 0.7443082909]),
+        ],
+    },
+    ShellData {
+        exps: &[0.1687144782],
+        blocks: &[(0, &[1.0]), (1, &[1.0])],
+    },
+];
+
+const B631G_N: &[ShellData] = &[
+    ShellData {
+        exps: &[4173.511460, 627.4579110, 142.9020930, 40.23432930, 13.03269600, 4.603090990],
+        blocks: &[(
+            0,
+            &[0.001834772160, 0.01399462700, 0.06858655181, 0.2322408730, 0.4690699481, 0.3604551991],
+        )],
+    },
+    ShellData {
+        exps: &[11.62636186, 2.716279807, 0.7722183966],
+        blocks: &[
+            (0, &[-0.1149611817, -0.1691174786, 1.145851947]),
+            (1, &[0.06757974388, 0.3239072959, 0.7408951398]),
+        ],
+    },
+    ShellData {
+        exps: &[0.2120314975],
+        blocks: &[(0, &[1.0]), (1, &[1.0])],
+    },
+];
+
+const B631G_O: &[ShellData] = &[
+    ShellData {
+        exps: &[5484.671660, 825.2349460, 188.0469580, 52.96450000, 16.89757040, 5.799635340],
+        blocks: &[(
+            0,
+            &[0.001831074430, 0.01395017220, 0.06844507810, 0.2327143360, 0.4701928980, 0.3585208530],
+        )],
+    },
+    ShellData {
+        exps: &[15.53961625, 3.599933586, 1.013761750],
+        blocks: &[
+            (0, &[-0.1107775495, -0.1480262627, 1.130767015]),
+            (1, &[0.07087426823, 0.3397528391, 0.7271585773]),
+        ],
+    },
+    ShellData {
+        exps: &[0.2700058226],
+        blocks: &[(0, &[1.0]), (1, &[1.0])],
+    },
+];
+
+// Polarization shells; standard exponents (d = 0.8 on C/N/O, p = 1.1 on H).
+const P_H: ShellData = ShellData { exps: &[1.1], blocks: &[(1, &[1.0])] };
+const B631GDP_H: &[ShellData] = &[
+    ShellData { exps: B631G_H[0].exps, blocks: B631G_H[0].blocks },
+    ShellData { exps: B631G_H[1].exps, blocks: B631G_H[1].blocks },
+    P_H,
+];
+
+const D_C: ShellData = ShellData { exps: &[0.8], blocks: &[(2, &[1.0])] };
+const D_N: ShellData = ShellData { exps: &[0.8], blocks: &[(2, &[1.0])] };
+const D_O: ShellData = ShellData { exps: &[0.8], blocks: &[(2, &[1.0])] };
+
+const B631GD_C: &[ShellData] = &[
+    ShellData { exps: B631G_C[0].exps, blocks: B631G_C[0].blocks },
+    ShellData { exps: B631G_C[1].exps, blocks: B631G_C[1].blocks },
+    ShellData { exps: B631G_C[2].exps, blocks: B631G_C[2].blocks },
+    D_C,
+];
+const B631GD_N: &[ShellData] = &[
+    ShellData { exps: B631G_N[0].exps, blocks: B631G_N[0].blocks },
+    ShellData { exps: B631G_N[1].exps, blocks: B631G_N[1].blocks },
+    ShellData { exps: B631G_N[2].exps, blocks: B631G_N[2].blocks },
+    D_N,
+];
+const B631GD_O: &[ShellData] = &[
+    ShellData { exps: B631G_O[0].exps, blocks: B631G_O[0].blocks },
+    ShellData { exps: B631G_O[1].exps, blocks: B631G_O[1].blocks },
+    ShellData { exps: B631G_O[2].exps, blocks: B631G_O[2].blocks },
+    D_O,
+];
+
+/// Raw shell data for `element` in `basis`, or `None` if not tabulated.
+pub fn shells_for(element: Element, basis: BasisName) -> Option<&'static [ShellData]> {
+    match (basis, element) {
+        (BasisName::Sto3g, Element::H) => Some(STO3G_H),
+        (BasisName::Sto3g, Element::He) => Some(STO3G_HE),
+        (BasisName::Sto3g, Element::C) => Some(STO3G_C),
+        (BasisName::Sto3g, Element::N) => Some(STO3G_N),
+        (BasisName::Sto3g, Element::O) => Some(STO3G_O),
+        (BasisName::B631g, Element::H) => Some(B631G_H),
+        (BasisName::B631g, Element::He) => Some(B631G_HE),
+        (BasisName::B631g, Element::C) => Some(B631G_C),
+        (BasisName::B631g, Element::N) => Some(B631G_N),
+        (BasisName::B631g, Element::O) => Some(B631G_O),
+        // 6-31G(d): hydrogen and helium are unchanged from 6-31G.
+        (BasisName::B631gd, Element::H) => Some(B631G_H),
+        (BasisName::B631gd, Element::He) => Some(B631G_HE),
+        (BasisName::B631gd, Element::C) => Some(B631GD_C),
+        (BasisName::B631gd, Element::N) => Some(B631GD_N),
+        (BasisName::B631gd, Element::O) => Some(B631GD_O),
+        // 6-31G(d,p): heavy atoms as in 6-31G(d), hydrogen gains a p shell.
+        (BasisName::B631gdp, Element::H) => Some(B631GDP_H),
+        (BasisName::B631gdp, Element::He) => Some(B631G_HE),
+        (BasisName::B631gdp, Element::C) => Some(B631GD_C),
+        (BasisName::B631gdp, Element::N) => Some(B631GD_N),
+        (BasisName::B631gdp, Element::O) => Some(B631GD_O),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_has_consistent_lengths() {
+        for basis in
+            [BasisName::Sto3g, BasisName::B631g, BasisName::B631gd, BasisName::B631gdp]
+        {
+            for el in [Element::H, Element::He, Element::C, Element::N, Element::O] {
+                let shells = shells_for(el, basis).unwrap();
+                for sh in shells {
+                    assert!(!sh.exps.is_empty());
+                    for &(l, coefs) in sh.blocks {
+                        assert!(l <= 2);
+                        assert_eq!(
+                            coefs.len(),
+                            sh.exps.len(),
+                            "{:?} {:?}: coef/exp length mismatch",
+                            basis,
+                            el
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponents_are_positive_and_descending() {
+        for basis in [BasisName::Sto3g, BasisName::B631g, BasisName::B631gd] {
+            for el in [Element::H, Element::C, Element::O] {
+                for sh in shells_for(el, basis).unwrap() {
+                    for w in sh.exps.windows(2) {
+                        assert!(w[0] > w[1], "exponents must descend within a shell");
+                    }
+                    assert!(*sh.exps.last().unwrap() > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_shells_only_in_631gd_heavy_atoms() {
+        let has_d = |el| {
+            shells_for(el, BasisName::B631gd)
+                .unwrap()
+                .iter()
+                .any(|s| s.blocks.iter().any(|b| b.0 == 2))
+        };
+        assert!(has_d(Element::C));
+        assert!(has_d(Element::O));
+        assert!(!has_d(Element::H));
+        let g_has_d = shells_for(Element::C, BasisName::B631g)
+            .unwrap()
+            .iter()
+            .any(|s| s.blocks.iter().any(|b| b.0 == 2));
+        assert!(!g_has_d);
+    }
+}

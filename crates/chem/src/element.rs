@@ -1,0 +1,88 @@
+//! Chemical elements (first two rows — all the paper's systems need is
+//! carbon, plus H/N/O/He for validation molecules).
+
+/// A chemical element, identified by atomic number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Element {
+    H,
+    He,
+    Li,
+    Be,
+    B,
+    C,
+    N,
+    O,
+    F,
+    Ne,
+}
+
+impl Element {
+    /// Nuclear charge Z.
+    pub fn atomic_number(self) -> u32 {
+        match self {
+            Element::H => 1,
+            Element::He => 2,
+            Element::Li => 3,
+            Element::Be => 4,
+            Element::B => 5,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::F => 9,
+            Element::Ne => 10,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::He => "He",
+            Element::Li => "Li",
+            Element::Be => "Be",
+            Element::B => "B",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::F => "F",
+            Element::Ne => "Ne",
+        }
+    }
+
+    /// Parse a (case-insensitive) element symbol.
+    pub fn from_symbol(s: &str) -> Option<Element> {
+        let all = [
+            Element::H,
+            Element::He,
+            Element::Li,
+            Element::Be,
+            Element::B,
+            Element::C,
+            Element::N,
+            Element::O,
+            Element::F,
+            Element::Ne,
+        ];
+        all.into_iter().find(|e| e.symbol().eq_ignore_ascii_case(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_numbers_are_sequential() {
+        assert_eq!(Element::H.atomic_number(), 1);
+        assert_eq!(Element::C.atomic_number(), 6);
+        assert_eq!(Element::Ne.atomic_number(), 10);
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for e in [Element::H, Element::He, Element::C, Element::N, Element::O] {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+        }
+        assert_eq!(Element::from_symbol("c"), Some(Element::C));
+        assert_eq!(Element::from_symbol("Xx"), None);
+    }
+}

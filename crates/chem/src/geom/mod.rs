@@ -1,0 +1,7 @@
+//! Geometry builders: the paper's graphene bilayer benchmark systems and a
+//! set of small validation molecules.
+
+pub mod graphene;
+pub mod small;
+
+pub use graphene::{bilayer_graphene, graphene_flake, PaperSystem};

@@ -1,0 +1,159 @@
+//! Small validation molecules with literature geometries.
+//!
+//! These are the systems the test suite runs real SCF calculations on; the
+//! H2 and HeH+ geometries are the classic Szabo & Ostlund test cases with
+//! known RHF/STO-3G energies.
+
+use crate::element::Element;
+use crate::molecule::{Atom, Molecule};
+use crate::ANGSTROM;
+
+/// H2 with the bond length given in Bohr. At `r = 1.4` the RHF/STO-3G total
+/// energy is -1.1167 Eh (Szabo & Ostlund, Table 3.5 region).
+pub fn hydrogen_molecule(r_bohr: f64) -> Molecule {
+    Molecule::neutral(vec![
+        Atom { element: Element::H, pos: [0.0, 0.0, 0.0] },
+        Atom { element: Element::H, pos: [0.0, 0.0, r_bohr] },
+    ])
+}
+
+/// HeH+ at the Szabo & Ostlund bond length of 1.4632 Bohr.
+pub fn heh_cation() -> Molecule {
+    Molecule::new(
+        vec![
+            Atom { element: Element::He, pos: [0.0, 0.0, 0.0] },
+            Atom { element: Element::H, pos: [0.0, 0.0, 1.4632] },
+        ],
+        1,
+    )
+}
+
+/// Water at the experimental gas-phase geometry (r(OH) = 0.9572 Å,
+/// HOH angle = 104.52 deg), oxygen at the origin, C2v axis along z.
+pub fn water() -> Molecule {
+    let r = 0.9572 * ANGSTROM;
+    let half = 104.52f64.to_radians() / 2.0;
+    Molecule::neutral(vec![
+        Atom { element: Element::O, pos: [0.0, 0.0, 0.0] },
+        Atom { element: Element::H, pos: [r * half.sin(), 0.0, r * half.cos()] },
+        Atom { element: Element::H, pos: [-r * half.sin(), 0.0, r * half.cos()] },
+    ])
+}
+
+/// Methane, tetrahedral, r(CH) = 1.087 Å.
+pub fn methane() -> Molecule {
+    let r = 1.087 * ANGSTROM / 3f64.sqrt();
+    Molecule::neutral(vec![
+        Atom { element: Element::C, pos: [0.0, 0.0, 0.0] },
+        Atom { element: Element::H, pos: [r, r, r] },
+        Atom { element: Element::H, pos: [r, -r, -r] },
+        Atom { element: Element::H, pos: [-r, r, -r] },
+        Atom { element: Element::H, pos: [-r, -r, r] },
+    ])
+}
+
+/// Benzene, planar D6h, r(CC) = 1.39 Å, r(CH) = 1.09 Å.
+pub fn benzene() -> Molecule {
+    let rc = 1.39 * ANGSTROM;
+    let rh = (1.39 + 1.09) * ANGSTROM;
+    let mut atoms = Vec::with_capacity(12);
+    for k in 0..6 {
+        let th = std::f64::consts::PI / 3.0 * k as f64;
+        atoms.push(Atom { element: Element::C, pos: [rc * th.cos(), rc * th.sin(), 0.0] });
+    }
+    for k in 0..6 {
+        let th = std::f64::consts::PI / 3.0 * k as f64;
+        atoms.push(Atom { element: Element::H, pos: [rh * th.cos(), rh * th.sin(), 0.0] });
+    }
+    Molecule::neutral(atoms)
+}
+
+/// A linear chain of `n` hydrogen atoms with the given spacing (Bohr).
+/// Handy for size-scaling tests; use even `n` for RHF.
+pub fn h_chain(n: usize, spacing_bohr: f64) -> Molecule {
+    Molecule::neutral(
+        (0..n)
+            .map(|k| Atom { element: Element::H, pos: [0.0, 0.0, k as f64 * spacing_bohr] })
+            .collect(),
+    )
+}
+
+/// A planar ring of `n` carbon atoms with the given bond length (Å).
+/// A crude all-carbon analogue of the graphene systems for cheap tests.
+pub fn c_ring(n: usize, bond_angstrom: f64) -> Molecule {
+    let theta = 2.0 * std::f64::consts::PI / n as f64;
+    let radius = bond_angstrom * ANGSTROM / (2.0 * (theta / 2.0).sin());
+    Molecule::neutral(
+        (0..n)
+            .map(|k| {
+                let th = theta * k as f64;
+                Atom { element: Element::C, pos: [radius * th.cos(), radius * th.sin(), 0.0] }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::dist;
+
+    #[test]
+    fn water_geometry() {
+        let m = water();
+        assert_eq!(m.n_atoms(), 3);
+        assert_eq!(m.n_electrons(), 10);
+        let a = m.atoms();
+        let roh = dist(a[0].pos, a[1].pos);
+        assert!((roh - 0.9572 * ANGSTROM).abs() < 1e-10);
+        // H-H distance consistent with the 104.52 degree angle.
+        let rhh = dist(a[1].pos, a[2].pos);
+        let expect = 2.0 * 0.9572 * ANGSTROM * (104.52f64.to_radians() / 2.0).sin();
+        assert!((rhh - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn methane_is_tetrahedral() {
+        let m = methane();
+        let a = m.atoms();
+        for h in 1..5 {
+            assert!((dist(a[0].pos, a[h].pos) - 1.087 * ANGSTROM).abs() < 1e-10);
+        }
+        // All H-H distances equal.
+        let d12 = dist(a[1].pos, a[2].pos);
+        for (i, j) in [(1, 3), (1, 4), (2, 3), (2, 4), (3, 4)] {
+            assert!((dist(a[i].pos, a[j].pos) - d12).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn heh_cation_has_two_electrons() {
+        let m = heh_cation();
+        assert_eq!(m.n_electrons(), 2);
+        assert_eq!(m.n_occupied(), 1);
+    }
+
+    #[test]
+    fn c_ring_bonds() {
+        let m = c_ring(6, 1.39);
+        let a = m.atoms();
+        for k in 0..6 {
+            let d = dist(a[k].pos, a[(k + 1) % 6].pos);
+            assert!((d - 1.39 * ANGSTROM).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn h_chain_spacing() {
+        let m = h_chain(5, 1.8);
+        assert_eq!(m.n_atoms(), 5);
+        assert!((dist(m.atoms()[0].pos, m.atoms()[4].pos) - 4.0 * 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benzene_counts() {
+        let m = benzene();
+        assert_eq!(m.n_atoms(), 12);
+        assert_eq!(m.n_electrons(), 42);
+    }
+}

@@ -1,0 +1,30 @@
+//! Chemistry substrate: elements, molecular geometries and Gaussian basis
+//! sets.
+//!
+//! This crate owns everything the paper's benchmarks parameterize over:
+//!
+//! * the graphene bilayer model systems (0.5 nm ... 5.0 nm, paper §5.2/§5.3,
+//!   Table 2 / Table 4) via [`geom::graphene`];
+//! * small validation molecules (H2, water, methane, ...) via [`geom::small`];
+//! * the 6-31G(d) basis the paper uses for every benchmark, plus STO-3G and
+//!   6-31G for cheap validation runs, via [`basis`].
+//!
+//! Shells follow the GAMESS convention the paper relies on (§4.1 footnote 1):
+//! a shell groups basis functions on one atom sharing one primitive exponent
+//! set, and combined SP ("L") shells are first-class — this is what makes the
+//! paper's shell counts (e.g. 176 shells / 660 basis functions for the 0.5 nm
+//! system) come out exactly.
+
+pub mod basis;
+pub mod element;
+pub mod geom;
+pub mod molecule;
+pub mod xyz;
+
+pub use basis::{BasisName, BasisSet, Shell};
+pub use element::Element;
+pub use molecule::{Atom, Molecule};
+pub use xyz::{parse_xyz, to_xyz};
+
+/// Bohr per Ångström.
+pub const ANGSTROM: f64 = 1.889_726_124_626_18;

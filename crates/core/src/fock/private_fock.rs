@@ -1,0 +1,199 @@
+//! Algorithm 2: hybrid MPI/OpenMP, shared density, thread-private Fock.
+//!
+//! Per rank, all read-only matrices (density, overlap, core Hamiltonian)
+//! exist once and are shared by the team's threads; only the Fock
+//! accumulation buffer is replicated per thread (the OpenMP
+//! `reduction(+ : Fock)` clause of the paper's listing). The MPI DLB runs
+//! over the `i` shell index; within a task the merged `(j, k)` loops are
+//! workshared with `collapse(2) schedule(dynamic,1)`, which enlarges the
+//! task pool from `i` iterations to `(i+1)^2` and fixes the load imbalance
+//! the paper attributes to two-index MPI parallelization.
+
+use super::serial::GBuild;
+use super::{digest_quartet, kl_bounds, tri_to_full, TriSink};
+use crate::stats::FockBuildStats;
+use phi_chem::BasisSet;
+use phi_integrals::{EriEngine, Screening};
+use phi_linalg::Mat;
+use phi_omp::{Schedule, Team};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Replicated read-only matrices per *rank* (S, H, C) — one set per rank,
+/// not per thread, which is the first memory win over Algorithm 1.
+fn replicated_readonly_bytes(n: usize) -> usize {
+    3 * n * n * std::mem::size_of::<f64>()
+}
+
+/// Build `G(D)` with Algorithm 2 over `n_ranks` ranks x `n_threads` threads.
+pub fn build_g_private_fock(
+    basis: &BasisSet,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+    n_ranks: usize,
+    n_threads: usize,
+) -> GBuild {
+    let n = basis.n_basis();
+    let ns = basis.n_shells();
+
+    let world = phi_dmpi::run_world(n_ranks, |rank| {
+        let start = Instant::now();
+        // One shared density copy per rank (threads read it concurrently).
+        let mut d_rank = rank.alloc_f64(n * n);
+        d_rank.copy_from_slice(d.as_slice());
+        rank.charge_bytes(replicated_readonly_bytes(n));
+
+        let team = Team::new(n_threads);
+        let current_i = AtomicUsize::new(0);
+        rank.dlb_reset();
+
+        let thread_results = team.parallel(|ctx| {
+            // Thread-private Fock matrix — the replication this algorithm
+            // still pays for (charged to the rank's footprint).
+            rank.charge_bytes(n * n * std::mem::size_of::<f64>());
+            let mut fock = vec![0.0; n * n];
+            let mut engine = EriEngine::new();
+            let mut eri_buf: Vec<f64> = Vec::new();
+            let mut computed = 0u64;
+            let mut screened = 0u64;
+            let mut tasks = 0usize;
+
+            loop {
+                // Master pulls the next i index (Algorithm 2 lines 3-6).
+                ctx.master(|| current_i.store(rank.dlb_next(), Ordering::SeqCst));
+                ctx.barrier();
+                let i = current_i.load(Ordering::SeqCst);
+                if i >= ns {
+                    break;
+                }
+                if ctx.is_master() {
+                    tasks += 1;
+                }
+                // Merged (j, k) loops, workshared dynamically (lines 7-20).
+                ctx.collapse2(i + 1, i + 1, Schedule::dynamic1(), |j, k| {
+                    for l in 0..=kl_bounds(i, j, k) {
+                        if !screening.survives(i, j, k, l, tau) {
+                            screened += 1;
+                            continue;
+                        }
+                        let (a, b, c, e) = (
+                            &basis.shells[i],
+                            &basis.shells[j],
+                            &basis.shells[k],
+                            &basis.shells[l],
+                        );
+                        let len = a.n_functions()
+                            * b.n_functions()
+                            * c.n_functions()
+                            * e.n_functions();
+                        eri_buf.clear();
+                        eri_buf.resize(len, 0.0);
+                        engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                        let mut sink = TriSink { buf: &mut fock, n };
+                        digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
+                        computed += 1;
+                    }
+                });
+                // collapse2 ends with the implicit barrier; the master then
+                // pulls the next task.
+            }
+
+            let stats = FockBuildStats {
+                quartets_computed: computed,
+                quartets_screened: screened,
+                prim_quartets: engine.prim_quartets_computed(),
+                dlb_tasks: tasks,
+                ..Default::default()
+            };
+            (fock, stats)
+        });
+
+        // OpenMP reduction(+ : Fock): sum the thread-private copies.
+        let mut fock = rank.alloc_f64(n * n);
+        let mut stats = FockBuildStats::default();
+        for (tf, ts) in &thread_results {
+            for (dst, src) in fock.iter_mut().zip(tf) {
+                *dst += src;
+            }
+            stats = FockBuildStats::merge(stats, ts);
+        }
+        rank.release_bytes(n_threads * n * n * std::mem::size_of::<f64>());
+
+        // 2e-Fock matrix reduction over MPI (line 23).
+        rank.gsumf(&mut fock);
+        rank.release_bytes(replicated_readonly_bytes(n));
+        stats.seconds = start.elapsed().as_secs_f64();
+        let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
+        (result, stats)
+    });
+
+    let mut stats = FockBuildStats::default();
+    let mut g_buf = None;
+    for (buf, s) in world.per_rank {
+        stats = FockBuildStats::merge(stats, &s);
+        if let Some(b) = buf {
+            g_buf = Some(b);
+        }
+    }
+    stats.memory_total_peak = world.memory.total_peak();
+    stats.per_rank_peak = world.memory.per_rank_peak.clone();
+    GBuild { g: tri_to_full(&g_buf.expect("rank 0 returns the reduced Fock"), n), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::serial::build_g_serial;
+    use phi_chem::basis::BasisName;
+    use phi_chem::geom::small;
+
+    fn density(n: usize) -> Mat {
+        Mat::from_fn(n, n, |i, j| {
+            let (i, j) = if i >= j { (i, j) } else { (j, i) };
+            0.15 + ((i * 3 + j * 13) % 9) as f64 * 0.07
+        })
+    }
+
+    #[test]
+    fn matches_serial_across_rank_thread_grids() {
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let want = build_g_serial(&b, &s, 1e-12, &d).g;
+        for (r, t) in [(1, 1), (1, 4), (2, 2), (3, 2)] {
+            let got = build_g_private_fock(&b, &s, 1e-12, &d, r, t);
+            assert!(
+                got.g.max_abs_diff(&want) < 1e-10,
+                "{r} ranks x {t} threads: diff {}",
+                got.g.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn covers_every_quartet_exactly_once() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let serial = build_g_serial(&b, &s, 0.0, &d);
+        let hybrid = build_g_private_fock(&b, &s, 0.0, &d, 2, 3);
+        assert_eq!(hybrid.stats.quartets_computed, serial.stats.quartets_computed);
+    }
+
+    #[test]
+    fn rank_memory_smaller_than_mpi_only_at_same_core_count() {
+        // 4 "cores": MPI-only = 4 ranks; private Fock = 1 rank x 4 threads.
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let mpi = crate::fock::mpi_only::build_g_mpi_only(&b, &s, 1e-12, &d, 4);
+        let hyb = build_g_private_fock(&b, &s, 1e-12, &d, 1, 4);
+        assert!(
+            hyb.stats.memory_total_peak < mpi.stats.memory_total_peak,
+            "hybrid {} vs MPI {}",
+            hyb.stats.memory_total_peak,
+            mpi.stats.memory_total_peak
+        );
+    }
+}

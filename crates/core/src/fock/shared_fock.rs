@@ -1,0 +1,407 @@
+//! Algorithm 3: hybrid MPI/OpenMP, shared density *and* shared Fock.
+//!
+//! The paper's unique contribution. Per rank, one Fock matrix is shared by
+//! all threads; the write-dependency problem of eqs. (2a)–(2f) is solved by
+//! splitting each quartet's six updates across three destinations
+//! (Algorithm 3 lines 25–27):
+//!
+//! * updates touching shell `i`'s block -> thread-private `FI` buffer,
+//! * updates touching shell `j`'s block -> thread-private `FJ` buffer,
+//! * the `(k, l)` element -> the shared Fock matrix directly (threads own
+//!   distinct `kl` iterations, so element collisions cannot occur within a
+//!   task; we still use atomic adds — see DESIGN.md on the safe-Rust
+//!   substitution).
+//!
+//! `FJ` is flushed (padded chunked tree reduction, paper Figure 1) after
+//! every `kl` loop; `FI` is flushed lazily, only when the task's `i`
+//! changes (lines 15–18 and 33), which removes most of the synchronization
+//! the naive scheme would pay.
+//!
+//! MPI tasks are combined `ij` pair indices pulled from the DLB counter,
+//! prescreened at the task level (line 13) so whole iterations of the most
+//! costly top loop vanish for sparse systems.
+
+use super::serial::GBuild;
+use super::{digest_quartet, pair_decode, pair_index, tri_to_full, FockSink};
+use crate::stats::FockBuildStats;
+use phi_chem::BasisSet;
+use phi_integrals::{EriEngine, Screening};
+use phi_linalg::Mat;
+use phi_omp::{PaddedColumns, Schedule, SharedAccumulator, Team};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+fn replicated_readonly_bytes(n: usize) -> usize {
+    3 * n * n * std::mem::size_of::<f64>()
+}
+
+/// Task-level prescreen policy (Algorithm 3 line 13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskPrescreen {
+    /// Skip task `ij` if `Q_ij * Q_max < tau` — a lossless necessary
+    /// condition (our default; see DESIGN.md).
+    QMax,
+    /// The paper's literal `schwartz(i,j,i,j)` test: skip if
+    /// `Q_ij^2 < tau`. Slightly lossy for quartets whose ket pair has a
+    /// much larger bound than the bra pair.
+    Diagonal,
+    /// No task-level prescreening (ablation).
+    Off,
+}
+
+/// Routes canonical Fock updates to FI / FJ / the shared matrix.
+struct SharedFockSink<'a> {
+    fi_col: &'a mut [f64],
+    fj_col: &'a mut [f64],
+    fock: &'a SharedAccumulator,
+    n: usize,
+    i_lo: usize,
+    i_hi: usize,
+    j_lo: usize,
+    j_hi: usize,
+}
+
+impl FockSink for SharedFockSink<'_> {
+    #[inline]
+    fn add(&mut self, mu: usize, nu: usize, v: f64) {
+        debug_assert!(mu >= nu);
+        if mu >= self.i_lo && mu < self.i_hi {
+            self.fi_col[(mu - self.i_lo) * self.n + nu] += v;
+        } else if nu >= self.i_lo && nu < self.i_hi {
+            self.fi_col[(nu - self.i_lo) * self.n + mu] += v;
+        } else if mu >= self.j_lo && mu < self.j_hi {
+            self.fj_col[(mu - self.j_lo) * self.n + nu] += v;
+        } else if nu >= self.j_lo && nu < self.j_hi {
+            self.fj_col[(nu - self.j_lo) * self.n + mu] += v;
+        } else {
+            // Pure (k, l) element: straight into the shared Fock matrix.
+            self.fock.add(mu * self.n + nu, v);
+        }
+    }
+}
+
+/// Build `G(D)` with Algorithm 3 over `n_ranks` ranks x `n_threads` threads.
+pub fn build_g_shared_fock(
+    basis: &BasisSet,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+    n_ranks: usize,
+    n_threads: usize,
+) -> GBuild {
+    build_g_shared_fock_opt(basis, screening, tau, d, n_ranks, n_threads, TaskPrescreen::QMax, true)
+}
+
+/// Full-control variant: `prescreen` selects the task-level screen, and
+/// `lazy_fi` toggles the lazy-FI-flush optimization (the `ablation_flush`
+/// experiment flushes FI after every task instead).
+#[allow(clippy::too_many_arguments)]
+pub fn build_g_shared_fock_opt(
+    basis: &BasisSet,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+    n_ranks: usize,
+    n_threads: usize,
+    prescreen: TaskPrescreen,
+    lazy_fi: bool,
+) -> GBuild {
+    let n = basis.n_basis();
+    let ns = basis.n_shells();
+    let n_pair = ns * (ns + 1) / 2;
+    let max_width = basis.shells.iter().map(|s| s.n_functions()).max().unwrap_or(1);
+
+    let world = phi_dmpi::run_world(n_ranks, |rank| {
+        let start = Instant::now();
+        let mut d_rank = rank.alloc_f64(n * n);
+        d_rank.copy_from_slice(d.as_slice());
+        rank.charge_bytes(replicated_readonly_bytes(n));
+
+        // The rank's single shared Fock matrix (line 4: shared(Fock)).
+        let fock = SharedAccumulator::new(n * n);
+        rank.charge_bytes(n * n * std::mem::size_of::<f64>());
+        // FI / FJ: mxsize x nthreads padded column buffers (lines 1-3).
+        let fi = PaddedColumns::new(n * max_width, n_threads);
+        let fj = PaddedColumns::new(n * max_width, n_threads);
+        rank.charge_bytes(fi.bytes() + fj.bytes());
+
+        let team = Team::new(n_threads);
+        let current_ij = AtomicUsize::new(0);
+        rank.dlb_reset();
+
+        let thread_stats = team.parallel(|ctx| {
+            let mut engine = EriEngine::new();
+            let mut eri_buf: Vec<f64> = Vec::new();
+            let mut computed = 0u64;
+            let mut screened = 0u64;
+            let mut tasks = 0usize;
+            // (shell index, first_bf) of the last task's i shell; identical
+            // across threads because every thread follows the same task
+            // sequence.
+            let mut iold: Option<usize> = None;
+
+            let flush_fi = |ctx: &phi_omp::ThreadCtx<'_>, shell: usize| {
+                let sh = &basis.shells[shell];
+                let (lo, width) = (sh.first_bf, sh.n_functions());
+                fi.flush_prefix_with(ctx, width * n, |row, sum| {
+                    let gi = lo + row / n;
+                    let other = row % n;
+                    let idx = if gi >= other { gi * n + other } else { other * n + gi };
+                    fock.add(idx, sum);
+                });
+            };
+
+            loop {
+                // Master pulls the next combined ij index (lines 7-10).
+                ctx.master(|| current_ij.store(rank.dlb_next(), Ordering::SeqCst));
+                ctx.barrier();
+                let ij = current_ij.load(Ordering::SeqCst);
+                if ij >= n_pair {
+                    break;
+                }
+                let (i, j) = pair_decode(ij);
+                // Task-level prescreen (lines 13-14).
+                let survives = match prescreen {
+                    TaskPrescreen::QMax => screening.task_survives(i, j, tau),
+                    TaskPrescreen::Diagonal => screening.survives(i, j, i, j, tau),
+                    TaskPrescreen::Off => true,
+                };
+                if !survives {
+                    // A barrier before looping: every thread must have read
+                    // current_ij before the master overwrites it with the
+                    // next pull. (The surviving path gets this for free from
+                    // the kl-loop's trailing barrier; without this one, a
+                    // slow thread can miss a task entirely and the team's
+                    // collective-call sequences diverge — deadlock.)
+                    ctx.barrier();
+                    continue;
+                }
+                if ctx.is_master() {
+                    tasks += 1;
+                }
+                // Flush FI when i changes (lines 15-18) — or every task in
+                // the ablation configuration.
+                if let Some(io) = iold {
+                    if io != i || !lazy_fi {
+                        flush_fi(ctx, io);
+                    }
+                }
+
+                let sh_i = &basis.shells[i];
+                let sh_j = &basis.shells[j];
+                let mut sink = SharedFockSink {
+                    fi_col: fi.col_mut(ctx.thread_num()),
+                    fj_col: fj.col_mut(ctx.thread_num()),
+                    fock: &fock,
+                    n,
+                    i_lo: sh_i.first_bf,
+                    i_hi: sh_i.first_bf + sh_i.n_functions(),
+                    j_lo: sh_j.first_bf,
+                    j_hi: sh_j.first_bf + sh_j.n_functions(),
+                };
+
+                // Workshared kl loop (lines 19-30).
+                let klmax = pair_index(i, j) + 1;
+                ctx.for_each(klmax, Schedule::dynamic1(), |kl| {
+                    let (k, l) = pair_decode(kl);
+                    if !screening.survives(i, j, k, l, tau) {
+                        screened += 1;
+                        return;
+                    }
+                    let (a, b, c, e) =
+                        (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
+                    let len =
+                        a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+                    eri_buf.clear();
+                    eri_buf.resize(len, 0.0);
+                    engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                    digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
+                    computed += 1;
+                });
+
+                // Flush FJ after every kl loop (lines 31-32).
+                let width_j = sh_j.n_functions();
+                let j_lo = sh_j.first_bf;
+                fj.flush_prefix_with(ctx, width_j * n, |row, sum| {
+                    let gj = j_lo + row / n;
+                    let other = row % n;
+                    let idx = if gj >= other { gj * n + other } else { other * n + gj };
+                    fock.add(idx, sum);
+                });
+                iold = Some(i);
+            }
+
+            // Flush the FI remainder (line 36).
+            if let Some(io) = iold {
+                flush_fi(ctx, io);
+            }
+
+            FockBuildStats {
+                quartets_computed: computed,
+                quartets_screened: screened,
+                prim_quartets: engine.prim_quartets_computed(),
+                dlb_tasks: tasks,
+                ..Default::default()
+            }
+        });
+
+        // 2e-Fock reduction over MPI ranks (line 38).
+        let mut fbuf = fock.snapshot();
+        rank.gsumf(&mut fbuf);
+
+        rank.release_bytes(fi.bytes() + fj.bytes());
+        rank.release_bytes(n * n * std::mem::size_of::<f64>());
+        rank.release_bytes(replicated_readonly_bytes(n));
+
+        let mut stats = FockBuildStats::default();
+        for ts in &thread_stats {
+            stats = FockBuildStats::merge(stats, ts);
+        }
+        stats.seconds = start.elapsed().as_secs_f64();
+        let result = if rank.is_root() { Some(fbuf) } else { None };
+        (result, stats)
+    });
+
+    let mut stats = FockBuildStats::default();
+    let mut g_buf = None;
+    for (buf, s) in world.per_rank {
+        stats = FockBuildStats::merge(stats, &s);
+        if let Some(b) = buf {
+            g_buf = Some(b);
+        }
+    }
+    stats.memory_total_peak = world.memory.total_peak();
+    stats.per_rank_peak = world.memory.per_rank_peak.clone();
+    GBuild { g: tri_to_full(&g_buf.expect("rank 0 returns the reduced Fock"), n), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::mpi_only::build_g_mpi_only;
+    use crate::fock::private_fock::build_g_private_fock;
+    use crate::fock::serial::build_g_serial;
+    use phi_chem::basis::BasisName;
+    use phi_chem::geom::small;
+
+    fn density(n: usize) -> Mat {
+        Mat::from_fn(n, n, |i, j| {
+            let (i, j) = if i >= j { (i, j) } else { (j, i) };
+            0.25 + ((i * 17 + j * 7) % 5) as f64 * 0.08 - 0.02 * i as f64 / (n as f64)
+        })
+    }
+
+    #[test]
+    fn matches_serial_across_rank_thread_grids() {
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let want = build_g_serial(&b, &s, 1e-12, &d).g;
+        for (r, t) in [(1, 1), (1, 4), (2, 2), (2, 3)] {
+            let got = build_g_shared_fock(&b, &s, 1e-12, &d, r, t);
+            assert!(
+                got.g.max_abs_diff(&want) < 1e-10,
+                "{r} ranks x {t} threads: diff {}",
+                got.g.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_with_d_functions() {
+        let b = BasisSet::build(&small::water(), BasisName::B631gd);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let want = build_g_serial(&b, &s, 1e-11, &d).g;
+        let got = build_g_shared_fock(&b, &s, 1e-11, &d, 2, 2);
+        assert!(got.g.max_abs_diff(&want) < 1e-9, "diff {}", got.g.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn eager_fi_flush_gives_identical_result() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let lazy =
+            build_g_shared_fock_opt(&b, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, true);
+        let eager =
+            build_g_shared_fock_opt(&b, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, false);
+        assert!(lazy.g.max_abs_diff(&eager.g) < 1e-10);
+    }
+
+    #[test]
+    fn prescreen_variants_agree_on_dense_systems() {
+        // For a compact molecule nothing is prescreened away, so all three
+        // policies give the same G.
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let qmax = build_g_shared_fock_opt(&b, &s, 1e-10, &d, 1, 2, TaskPrescreen::QMax, true);
+        let diag =
+            build_g_shared_fock_opt(&b, &s, 1e-10, &d, 1, 2, TaskPrescreen::Diagonal, true);
+        let off = build_g_shared_fock_opt(&b, &s, 1e-10, &d, 1, 2, TaskPrescreen::Off, true);
+        assert!(qmax.g.max_abs_diff(&off.g) < 1e-10);
+        assert!(diag.g.max_abs_diff(&off.g) < 1e-10);
+    }
+
+    #[test]
+    fn sparse_system_with_prescreened_tasks_is_race_free() {
+        // Regression test: a spread-out H chain prescreens many ij tasks.
+        // Before the prescreen-path barrier fix, a thread could miss the
+        // master's current_ij update on the continue path, desynchronizing
+        // the team's collective sequence (deadlock) or silently skipping a
+        // surviving task (wrong Fock matrix). Dense molecules (water etc.)
+        // never prescreen, which is why only sparse systems exposed it.
+        let b = BasisSet::build(&small::h_chain(8, 5.0), BasisName::Sto3g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let tau = 1e-10;
+        let want = build_g_serial(&b, &s, tau, &d).g;
+        for (r, t) in [(1, 2), (1, 4), (2, 3)] {
+            // Repeat several times: the race was timing-dependent.
+            for round in 0..5 {
+                let got = build_g_shared_fock(&b, &s, tau, &d, r, t);
+                assert!(
+                    got.g.max_abs_diff(&want) < 1e-10,
+                    "{r}x{t} round {round}: diff {}",
+                    got.g.max_abs_diff(&want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_hierarchy_matches_the_paper() {
+        // At equal core counts: MPI-only > private Fock > shared Fock.
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let cores = 4;
+        let mpi = build_g_mpi_only(&b, &s, 1e-12, &d, cores);
+        let prv = build_g_private_fock(&b, &s, 1e-12, &d, 1, cores);
+        let shr = build_g_shared_fock(&b, &s, 1e-12, &d, 1, cores);
+        assert!(
+            mpi.stats.memory_total_peak > prv.stats.memory_total_peak,
+            "MPI {} <= private {}",
+            mpi.stats.memory_total_peak,
+            prv.stats.memory_total_peak
+        );
+        assert!(
+            prv.stats.memory_total_peak > shr.stats.memory_total_peak,
+            "private {} <= shared {}",
+            prv.stats.memory_total_peak,
+            shr.stats.memory_total_peak
+        );
+    }
+
+    #[test]
+    fn task_count_equals_surviving_pairs() {
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let out = build_g_shared_fock(&b, &s, 1e-14, &d, 2, 2);
+        let ns = b.n_shells();
+        // Water/STO-3G is compact: no pair is prescreened at 1e-14.
+        assert_eq!(out.stats.dlb_tasks, ns * (ns + 1) / 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! In-core ("conventional") SCF: compute the surviving ERIs once, store
+//! them, and replay them every iteration.
+//!
+//! GAMESS supports both direct SCF (recompute ERIs each iteration — what
+//! the paper benchmarks, since the 30,240-function systems cannot store
+//! their integrals) and conventional SCF. The in-core path completes the
+//! functionality and gives the test suite a strong independent check: the
+//! stored-integral Fock build must agree with every direct builder.
+
+use crate::fock::serial::GBuild;
+use crate::fock::{digest_quartet, kl_bounds, tri_to_full, TriSink};
+use crate::stats::FockBuildStats;
+use phi_chem::BasisSet;
+use phi_integrals::{EriEngine, Screening};
+use phi_linalg::Mat;
+use std::time::Instant;
+
+/// A stored list of surviving shell quartets and their integral blocks.
+pub struct IncoreEris {
+    /// `(i, j, k, l)` canonical shell indices of each stored quartet.
+    quartets: Vec<(u32, u32, u32, u32)>,
+    /// Offsets into `values` (quartets have varying block sizes).
+    offsets: Vec<usize>,
+    values: Vec<f64>,
+    n_basis: usize,
+}
+
+impl IncoreEris {
+    /// Compute and store every surviving quartet. Memory grows as O(N^4 /
+    /// screening); `max_bytes` guards against accidental huge systems
+    /// (returns `None` if the estimate exceeds it).
+    pub fn compute(
+        basis: &BasisSet,
+        screening: &Screening,
+        tau: f64,
+        max_bytes: usize,
+    ) -> Option<IncoreEris> {
+        let ns = basis.n_shells();
+        let mut engine = EriEngine::new();
+        let mut quartets = Vec::new();
+        let mut offsets = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..ns {
+            for j in 0..=i {
+                for k in 0..=i {
+                    for l in 0..=kl_bounds(i, j, k) {
+                        if !screening.survives(i, j, k, l, tau) {
+                            continue;
+                        }
+                        let (a, b, c, e) =
+                            (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
+                        let len = a.n_functions()
+                            * b.n_functions()
+                            * c.n_functions()
+                            * e.n_functions();
+                        if (values.len() + len) * 8 > max_bytes {
+                            return None;
+                        }
+                        offsets.push(values.len());
+                        values.resize(values.len() + len, 0.0);
+                        let start = *offsets.last().expect("just pushed");
+                        engine.shell_quartet(a, b, c, e, &mut values[start..start + len]);
+                        quartets.push((i as u32, j as u32, k as u32, l as u32));
+                    }
+                }
+            }
+        }
+        offsets.push(values.len());
+        Some(IncoreEris { quartets, offsets, values, n_basis: basis.n_basis() })
+    }
+
+    pub fn n_quartets(&self) -> usize {
+        self.quartets.len()
+    }
+
+    pub fn stored_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Build `G(D)` by replaying the stored integrals — no ERI evaluation.
+    pub fn build_g(&self, basis: &BasisSet, d: &Mat) -> GBuild {
+        let start = Instant::now();
+        let n = self.n_basis;
+        let mut buf = vec![0.0; n * n];
+        for (q, &(i, j, k, l)) in self.quartets.iter().enumerate() {
+            let vals = &self.values[self.offsets[q]..self.offsets[q + 1]];
+            let mut sink = TriSink { buf: &mut buf, n };
+            digest_quartet(basis, i as usize, j as usize, k as usize, l as usize, vals, d, &mut sink);
+        }
+        GBuild {
+            g: tri_to_full(&buf, n),
+            stats: FockBuildStats {
+                seconds: start.elapsed().as_secs_f64(),
+                quartets_computed: self.quartets.len() as u64,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::serial::build_g_serial;
+    use phi_chem::basis::BasisName;
+    use phi_chem::geom::small;
+
+    fn density(n: usize) -> Mat {
+        Mat::from_fn(n, n, |i, j| {
+            let (i, j) = if i >= j { (i, j) } else { (j, i) };
+            0.2 + ((i * 7 + j) % 4) as f64 * 0.11
+        })
+    }
+
+    #[test]
+    fn incore_matches_direct_for_every_density() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        let tau = 1e-10;
+        let eris = IncoreEris::compute(&b, &s, tau, 1 << 30).expect("fits");
+        for seed in 0..3 {
+            let mut d = density(b.n_basis());
+            d.scale(1.0 + seed as f64 * 0.5);
+            let direct = build_g_serial(&b, &s, tau, &d).g;
+            let incore = eris.build_g(&b, &d).g;
+            assert!(
+                direct.max_abs_diff(&incore) < 1e-11,
+                "seed {seed}: direct vs in-core differ by {}",
+                direct.max_abs_diff(&incore)
+            );
+        }
+    }
+
+    #[test]
+    fn quartet_count_matches_direct_build() {
+        let b = BasisSet::build(&small::methane(), BasisName::Sto3g);
+        let s = Screening::compute(&b);
+        let eris = IncoreEris::compute(&b, &s, 1e-10, 1 << 30).expect("fits");
+        let direct = build_g_serial(&b, &s, 1e-10, &density(b.n_basis()));
+        assert_eq!(eris.n_quartets() as u64, direct.stats.quartets_computed);
+        assert!(eris.stored_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_guard_refuses_oversized_stores() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        assert!(IncoreEris::compute(&b, &s, 1e-10, 1024).is_none(), "1 KB cannot hold water ERIs");
+    }
+
+    #[test]
+    fn replay_is_faster_than_recompute() {
+        // The whole point of conventional SCF: iteration cost drops once
+        // integrals are stored. (Generous margin — debug builds are noisy.)
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let s = Screening::compute(&b);
+        let d = density(b.n_basis());
+        let eris = IncoreEris::compute(&b, &s, 1e-10, 1 << 30).expect("fits");
+        let t_direct = build_g_serial(&b, &s, 1e-10, &d).stats.seconds;
+        let t_incore = eris.build_g(&b, &d).stats.seconds;
+        assert!(
+            t_incore < t_direct,
+            "in-core replay ({t_incore}s) should beat direct recompute ({t_direct}s)"
+        );
+    }
+}

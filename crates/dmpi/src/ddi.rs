@@ -1,0 +1,203 @@
+//! DDI process-model emulation: data servers vs MPI-3 one-sided, and
+//! distributed arrays.
+//!
+//! GAMESS's DDI layer predates MPI one-sided support: classically every
+//! compute rank is paired with a *data server* process that services
+//! remote get/put/accumulate requests, doubling the process count (paper
+//! §6.2). The MPI-3 based DDI eliminates the servers. The paper runs all
+//! benchmarks without data servers; the mode lives here so the memory
+//! model can quantify what the servers would have cost.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which DDI transport the run models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DdiMode {
+    /// Classic DDI: one data-server process per compute rank.
+    DataServer,
+    /// MPI-3 one-sided DDI (used for all the paper's benchmarks).
+    Mpi3OneSided,
+}
+
+impl DdiMode {
+    /// OS processes consumed per compute rank.
+    pub fn processes_per_rank(self) -> usize {
+        match self {
+            DdiMode::DataServer => 2,
+            DdiMode::Mpi3OneSided => 1,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DdiMode::DataServer => "DDI data servers",
+            DdiMode::Mpi3OneSided => "MPI-3 one-sided",
+        }
+    }
+}
+
+/// A globally addressable 1-D `f64` array striped over ranks in equal
+/// blocks (DDI's `ddi_create` / `ddi_get` / `ddi_put` / `ddi_acc`).
+///
+/// In-process, segments are mutex-guarded vectors; each operation also
+/// counts the bytes that would have crossed the network so communication
+/// volume is observable.
+pub struct DistributedArray {
+    segments: Vec<Arc<Mutex<Vec<f64>>>>,
+    seg_len: usize,
+    len: usize,
+    remote_bytes: Arc<Mutex<u64>>,
+}
+
+impl DistributedArray {
+    /// Create an array of `len` elements striped over `n_ranks` segments.
+    pub fn new(len: usize, n_ranks: usize) -> DistributedArray {
+        let seg_len = len.div_ceil(n_ranks);
+        let segments = (0..n_ranks)
+            .map(|r| {
+                let lo = (r * seg_len).min(len);
+                let hi = ((r + 1) * seg_len).min(len);
+                Arc::new(Mutex::new(vec![0.0; hi - lo]))
+            })
+            .collect();
+        DistributedArray { segments, seg_len, len, remote_bytes: Arc::new(Mutex::new(0)) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Which rank owns element `idx`.
+    pub fn owner(&self, idx: usize) -> usize {
+        idx / self.seg_len
+    }
+
+    fn for_range(
+        &self,
+        caller: usize,
+        lo: usize,
+        data_len: usize,
+        mut f: impl FnMut(usize, usize, &mut [f64]),
+    ) {
+        assert!(lo + data_len <= self.len, "range out of bounds");
+        let mut pos = lo;
+        let mut off = 0;
+        while off < data_len {
+            let seg = self.owner(pos);
+            let seg_lo = pos - seg * self.seg_len;
+            let take = (data_len - off).min(self.seg_len - seg_lo);
+            let mut guard = self.segments[seg].lock();
+            f(off, seg_lo, &mut guard[seg_lo..seg_lo + take]);
+            if seg != caller {
+                *self.remote_bytes.lock() += (take * 8) as u64;
+            }
+            pos += take;
+            off += take;
+        }
+    }
+
+    /// One-sided read of `[lo, lo + out.len())` by `caller`.
+    pub fn get(&self, caller: usize, lo: usize, out: &mut [f64]) {
+        let n = out.len();
+        let out_cell = std::cell::RefCell::new(out);
+        self.for_range(caller, lo, n, |off, _seg_lo, seg| {
+            out_cell.borrow_mut()[off..off + seg.len()].copy_from_slice(seg);
+        });
+    }
+
+    /// One-sided write.
+    pub fn put(&self, caller: usize, lo: usize, data: &[f64]) {
+        self.for_range(caller, lo, data.len(), |off, _seg_lo, seg| {
+            seg.copy_from_slice(&data[off..off + seg.len()]);
+        });
+    }
+
+    /// One-sided accumulate (`ddi_acc`): remote `+=`.
+    pub fn acc(&self, caller: usize, lo: usize, data: &[f64]) {
+        self.for_range(caller, lo, data.len(), |off, _seg_lo, seg| {
+            for (s, d) in seg.iter_mut().zip(&data[off..]) {
+                *s += d;
+            }
+        });
+    }
+
+    /// Bytes that crossed rank boundaries so far.
+    pub fn remote_traffic_bytes(&self) -> u64 {
+        *self.remote_bytes.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_process_counts() {
+        assert_eq!(DdiMode::DataServer.processes_per_rank(), 2);
+        assert_eq!(DdiMode::Mpi3OneSided.processes_per_rank(), 1);
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_segments() {
+        let a = DistributedArray::new(100, 4);
+        let data: Vec<f64> = (0..50).map(|x| x as f64).collect();
+        // Write spanning segments 0 and 1 (seg_len = 25).
+        a.put(0, 10, &data);
+        let mut out = vec![0.0; 50];
+        a.get(0, 10, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn acc_accumulates() {
+        let a = DistributedArray::new(10, 2);
+        a.acc(0, 3, &[1.0, 1.0]);
+        a.acc(1, 3, &[2.0, 3.0]);
+        let mut out = vec![0.0; 2];
+        a.get(0, 3, &mut out);
+        assert_eq!(out, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn remote_traffic_counts_only_cross_rank_bytes() {
+        let a = DistributedArray::new(100, 4); // seg_len 25
+        a.put(0, 0, &[1.0; 25]); // entirely local to rank 0
+        assert_eq!(a.remote_traffic_bytes(), 0);
+        a.put(0, 25, &[1.0; 25]); // entirely on rank 1
+        assert_eq!(a.remote_traffic_bytes(), 200);
+    }
+
+    #[test]
+    fn owner_mapping() {
+        let a = DistributedArray::new(100, 4);
+        assert_eq!(a.owner(0), 0);
+        assert_eq!(a.owner(24), 0);
+        assert_eq!(a.owner(25), 1);
+        assert_eq!(a.owner(99), 3);
+    }
+
+    #[test]
+    fn concurrent_acc_is_atomic_per_segment() {
+        let a = Arc::new(DistributedArray::new(8, 2));
+        let mut handles = Vec::new();
+        for r in 0..4 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    a.acc(r % 2, 0, &[1.0; 8]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = vec![0.0; 8];
+        a.get(0, 0, &mut out);
+        assert!(out.iter().all(|&v| v == 4000.0), "{out:?}");
+    }
+}

@@ -1,0 +1,520 @@
+//! SPMD worlds: spawning ranks, barriers, point-to-point messages and
+//! collectives.
+
+use crate::dlb::Dlb;
+use crate::memory::{MemoryReport, MemoryTracker, TrackedBuf};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// A tagged point-to-point message.
+struct Message {
+    from: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// State shared by every rank of a world.
+struct WorldShared {
+    n_ranks: usize,
+    barrier: Barrier,
+    dlb: Dlb,
+    /// Scratch buffer for collectives; valid only between the barriers of
+    /// one collective call.
+    coll: Mutex<Vec<f64>>,
+    mem: Arc<MemoryTracker>,
+    /// Bytes moved per rank: point-to-point payloads plus each rank's
+    /// contribution to collectives. The communication volume the cluster
+    /// model charges for is thereby observable on real runs.
+    comm_bytes: Vec<AtomicU64>,
+}
+
+/// Handle a rank's SPMD closure receives. Not `Clone` — exactly one per
+/// rank, like an MPI communicator's view of `MPI_COMM_WORLD`.
+pub struct Rank {
+    id: usize,
+    shared: Arc<WorldShared>,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Messages received but not yet matched by a `recv` call.
+    /// Mutex (not RefCell) so a `Rank` can be shared with an OpenMP-style
+    /// thread team; p2p calls themselves remain one-rank operations.
+    stash: Mutex<VecDeque<Message>>,
+}
+
+/// Everything a finished world returns: per-rank results plus the memory
+/// accounting.
+pub struct WorldResult<R> {
+    pub per_rank: Vec<R>,
+    pub memory: MemoryReport,
+    pub dlb_calls: usize,
+    /// Bytes each rank moved (p2p payloads + collective contributions).
+    pub comm_bytes: Vec<u64>,
+}
+
+/// Run an SPMD function over `n_ranks` ranks (each on its own OS thread)
+/// and collect their results.
+pub fn run_world<R, F>(n_ranks: usize, f: F) -> WorldResult<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    assert!(n_ranks >= 1);
+    let shared = Arc::new(WorldShared {
+        n_ranks,
+        barrier: Barrier::new(n_ranks),
+        dlb: Dlb::new(),
+        coll: Mutex::new(Vec::new()),
+        mem: Arc::new(MemoryTracker::new(n_ranks)),
+        comm_bytes: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+    });
+    let mut senders = Vec::with_capacity(n_ranks);
+    let mut receivers = Vec::with_capacity(n_ranks);
+    for _ in 0..n_ranks {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let ranks: Vec<Rank> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, receiver)| Rank {
+            id,
+            shared: shared.clone(),
+            senders: senders.clone(),
+            receiver,
+            stash: Mutex::new(VecDeque::new()),
+        })
+        .collect();
+
+    let per_rank = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut iter = ranks.into_iter();
+        let rank0 = iter.next().expect("n_ranks >= 1");
+        for rank in iter {
+            let f = &f;
+            handles.push(scope.spawn(move || f(&rank)));
+        }
+        let r0 = f(&rank0);
+        let mut out = vec![r0];
+        for h in handles {
+            out.push(h.join().expect("rank thread panicked"));
+        }
+        out
+    });
+
+    WorldResult {
+        per_rank,
+        memory: shared.mem.report(),
+        dlb_calls: shared.dlb.calls_made(),
+        comm_bytes: shared.comm_bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+impl Rank {
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    pub fn size(&self) -> usize {
+        self.shared.n_ranks
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.id == 0
+    }
+
+    /// World barrier.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Claim the next global task index (`ddi_dlbnext`).
+    pub fn dlb_next(&self) -> usize {
+        self.shared.dlb.next()
+    }
+
+    /// Collective reset of the DLB counter (call from all ranks).
+    pub fn dlb_reset(&self) {
+        self.barrier();
+        if self.is_root() {
+            self.shared.dlb.reset();
+        }
+        self.barrier();
+    }
+
+    /// Allocate a memory-tracked buffer charged to this rank.
+    pub fn alloc_f64(&self, len: usize) -> TrackedBuf {
+        TrackedBuf::new(len, self.id, self.shared.mem.clone())
+    }
+
+    /// Record an allocation this rank made outside [`TrackedBuf`] (e.g.
+    /// thread-private buffers inside an OpenMP region).
+    pub fn charge_bytes(&self, bytes: usize) {
+        self.shared.mem.on_alloc(self.id, bytes);
+    }
+
+    pub fn release_bytes(&self, bytes: usize) {
+        self.shared.mem.on_free(self.id, bytes);
+    }
+
+    // ---------------------------------------------------------- p2p -----
+
+    /// Non-blocking tagged send to `dest`.
+    pub fn send(&self, dest: usize, tag: u64, data: &[f64]) {
+        self.count_bytes(data.len());
+        self.senders[dest]
+            .send(Message { from: self.id, tag, data: data.to_vec() })
+            .expect("world is alive while ranks run");
+    }
+
+    fn count_bytes(&self, elems: usize) {
+        self.shared.comm_bytes[self.id]
+            .fetch_add((elems * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+    }
+
+    /// Blocking receive matching `(from, tag)`.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        // Check earlier unmatched messages first.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(pos) = stash.iter().position(|m| m.from == from && m.tag == tag) {
+                return stash.remove(pos).expect("position is valid").data;
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("senders outlive the world");
+            if msg.from == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.stash.lock().push_back(msg);
+        }
+    }
+
+    // --------------------------------------------------- collectives ----
+
+    /// Global sum over all ranks, in place (`ddi_gsumf`). Collective: every
+    /// rank must call with an equally sized slice.
+    pub fn gsumf(&self, data: &mut [f64]) {
+        self.count_bytes(data.len());
+        self.barrier();
+        if self.is_root() {
+            let mut buf = self.shared.coll.lock();
+            buf.clear();
+            buf.resize(data.len(), 0.0);
+        }
+        self.barrier();
+        {
+            let mut buf = self.shared.coll.lock();
+            assert_eq!(buf.len(), data.len(), "gsumf length mismatch across ranks");
+            for (b, d) in buf.iter_mut().zip(data.iter()) {
+                *b += *d;
+            }
+        }
+        self.barrier();
+        {
+            let buf = self.shared.coll.lock();
+            data.copy_from_slice(&buf);
+        }
+        self.barrier();
+    }
+
+    /// Tree-structured global sum over the point-to-point channels: a
+    /// binomial reduce to rank 0 followed by a binomial broadcast. Gives
+    /// the same result as [`gsumf`](Self::gsumf) (up to floating-point
+    /// association order) while exercising real message traffic — the
+    /// communication pattern the cluster model charges for.
+    pub fn gsumf_tree(&self, data: &mut [f64]) {
+        const TAG_REDUCE: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        let size = self.size();
+        let me = self.id;
+        // Binomial reduction: at round k, ranks with bit k set send to
+        // rank - 2^k and drop out.
+        let mut step = 1;
+        while step < size {
+            if me & step != 0 {
+                self.send(me - step, TAG_REDUCE, data);
+                break;
+            } else if me + step < size {
+                let incoming = self.recv(me + step, TAG_REDUCE);
+                assert_eq!(incoming.len(), data.len(), "gsumf_tree length mismatch");
+                for (d, v) in data.iter_mut().zip(&incoming) {
+                    *d += v;
+                }
+            }
+            step <<= 1;
+        }
+        // Binomial broadcast of the result from rank 0.
+        let mut mask = 1;
+        while mask < size {
+            mask <<= 1;
+        }
+        mask >>= 1;
+        if me != 0 {
+            // Find the bit that brought us into the tree.
+            let lowest = me & me.wrapping_neg();
+            let parent = me - lowest;
+            let got = self.recv(parent, TAG_BCAST);
+            data.copy_from_slice(&got);
+        }
+        let mut bit = if me == 0 { mask } else { (me & me.wrapping_neg()) >> 1 };
+        while bit > 0 {
+            let dest = me | bit;
+            if dest != me && dest < size {
+                self.send(dest, TAG_BCAST, data);
+            }
+            bit >>= 1;
+        }
+        self.barrier();
+    }
+
+    /// Broadcast `data` from `root` to every rank, in place. Collective.
+    pub fn broadcast(&self, root: usize, data: &mut [f64]) {
+        if self.id == root {
+            self.count_bytes(data.len());
+        }
+        self.barrier();
+        if self.id == root {
+            let mut buf = self.shared.coll.lock();
+            buf.clear();
+            buf.extend_from_slice(data);
+        }
+        self.barrier();
+        if self.id != root {
+            let buf = self.shared.coll.lock();
+            assert_eq!(buf.len(), data.len(), "broadcast length mismatch");
+            data.copy_from_slice(&buf);
+        }
+        self.barrier();
+    }
+
+    /// Gather each rank's scalar into a vector on every rank (allgather).
+    pub fn allgather_scalar(&self, value: f64) -> Vec<f64> {
+        self.barrier();
+        if self.is_root() {
+            let mut buf = self.shared.coll.lock();
+            buf.clear();
+            buf.resize(self.size(), 0.0);
+        }
+        self.barrier();
+        {
+            let mut buf = self.shared.coll.lock();
+            buf[self.id] = value;
+        }
+        self.barrier();
+        let out = self.shared.coll.lock().clone();
+        self.barrier();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let res = run_world(4, |r| (r.rank(), r.size()));
+        assert_eq!(res.per_rank, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn gsumf_sums_across_ranks() {
+        let res = run_world(4, |r| {
+            let mut v = vec![r.rank() as f64, 1.0, -(r.rank() as f64)];
+            r.gsumf(&mut v);
+            v
+        });
+        for v in res.per_rank {
+            assert_eq!(v, vec![6.0, 4.0, -6.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_gsumf_calls_are_independent() {
+        let res = run_world(3, |r| {
+            let mut total = 0.0;
+            for round in 0..10 {
+                let mut v = vec![(r.rank() + round) as f64];
+                r.gsumf(&mut v);
+                total += v[0];
+            }
+            total
+        });
+        // Round k sums to 3k + 3; total over k=0..9 = 3*45 + 30 = 165.
+        for v in res.per_rank {
+            assert_eq!(v, 165.0);
+        }
+    }
+
+    #[test]
+    fn tree_gsumf_matches_shared_buffer_gsumf() {
+        for n_ranks in [1usize, 2, 3, 4, 5, 7, 8] {
+            let res = run_world(n_ranks, |r| {
+                let mut a = vec![r.rank() as f64 + 0.5, -(r.rank() as f64)];
+                let mut b = a.clone();
+                r.gsumf(&mut a);
+                r.gsumf_tree(&mut b);
+                (a, b)
+            });
+            for (a, b) in res.per_rank {
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() < 1e-12, "{n_ranks} ranks: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_gsumf_repeats_cleanly() {
+        let res = run_world(6, |r| {
+            let mut total = 0.0;
+            for round in 0..5 {
+                let mut v = vec![(r.rank() * round) as f64];
+                r.gsumf_tree(&mut v);
+                total += v[0];
+            }
+            total
+        });
+        // Round k sums to 15k; total = 15 * (0+1+2+3+4) = 150.
+        for v in res.per_rank {
+            assert_eq!(v, 150.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let res = run_world(3, |r| {
+            let mut v = if r.rank() == 2 { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+            r.broadcast(2, &mut v);
+            v
+        });
+        for v in res.per_rank {
+            assert_eq!(v, vec![42.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn dlb_distributes_all_tasks_exactly_once() {
+        let n_tasks = 1000;
+        let res = run_world(4, |r| {
+            let mut mine = Vec::new();
+            loop {
+                let t = r.dlb_next();
+                if t >= n_tasks {
+                    break;
+                }
+                mine.push(t);
+            }
+            mine
+        });
+        let mut all: Vec<usize> = res.per_rank.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n_tasks).collect::<Vec<_>>());
+        assert!(res.dlb_calls >= n_tasks);
+    }
+
+    #[test]
+    fn dlb_reset_between_iterations() {
+        let res = run_world(2, |r| {
+            let mut seen = Vec::new();
+            for _iter in 0..3 {
+                r.dlb_reset();
+                loop {
+                    let t = r.dlb_next();
+                    if t >= 10 {
+                        break;
+                    }
+                    seen.push(t);
+                }
+            }
+            seen
+        });
+        let mut all: Vec<usize> = res.per_rank.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 30, "each of 3 iterations distributes 10 tasks");
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let res = run_world(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 7, &[1.0, 2.0, 3.0]);
+                r.recv(1, 8)
+            } else {
+                let got = r.recv(0, 7);
+                let doubled: Vec<f64> = got.iter().map(|x| 2.0 * x).collect();
+                r.send(0, 8, &doubled);
+                got
+            }
+        });
+        assert_eq!(res.per_rank[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(res.per_rank[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let res = run_world(2, |r| {
+            if r.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                r.send(1, 2, &[2.0]);
+                r.send(1, 1, &[1.0]);
+                vec![]
+            } else {
+                // Receive in the opposite order.
+                let a = r.recv(0, 1);
+                let b = r.recv(0, 2);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(res.per_rank[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn communication_volume_is_accounted() {
+        let res = run_world(3, |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[0.0; 100]); // 800 bytes p2p
+            } else if r.rank() == 1 {
+                let _ = r.recv(0, 1);
+            }
+            let mut v = vec![0.0; 10]; // 80 bytes collective contribution
+            r.gsumf(&mut v);
+        });
+        assert_eq!(res.comm_bytes[0], 880);
+        assert_eq!(res.comm_bytes[1], 80);
+        assert_eq!(res.comm_bytes[2], 80);
+    }
+
+    #[test]
+    fn memory_accounting_reaches_the_report() {
+        let res = run_world(3, |r| {
+            let _buf = r.alloc_f64(1000 * (r.rank() + 1));
+            r.barrier();
+        });
+        assert_eq!(res.memory.per_rank_peak, vec![8000, 16000, 24000]);
+        assert_eq!(res.memory.total_current(), 0);
+    }
+
+    #[test]
+    fn allgather_scalar_collects_in_rank_order() {
+        let res = run_world(4, |r| r.allgather_scalar((r.rank() * 10) as f64));
+        for v in res.per_rank {
+            assert_eq!(v, vec![0.0, 10.0, 20.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let res = run_world(1, |r| {
+            let mut v = vec![5.0];
+            r.gsumf(&mut v);
+            r.dlb_reset();
+            v[0]
+        });
+        assert_eq!(res.per_rank, vec![5.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! The Boys function `F_m(T) = ∫₀¹ t^{2m} e^{-T t²} dt`.
+//!
+//! Every Coulomb-type Gaussian integral reduces to Boys function values, so
+//! this sits on the innermost hot path of the ERI engine. Two regimes:
+//!
+//! * `T < 35`: evaluate the highest required order by its (all-positive,
+//!   cancellation-free) ascending series, then fill lower orders by the
+//!   numerically stable *downward* recursion
+//!   `F_m = (2T F_{m+1} + e^{-T}) / (2m + 1)`.
+//! * `T >= 35`: `erf(sqrt(T)) = 1` to double precision, so
+//!   `F_0 = sqrt(pi / T) / 2` exactly, and the *upward* recursion
+//!   `F_{m+1} = ((2m+1) F_m - e^{-T}) / (2T)` is stable because `2T`
+//!   dominates.
+
+/// Crossover between the series and the asymptotic branch.
+const T_ASYMPTOTIC: f64 = 35.0;
+
+/// Fill `out[m] = F_m(T)` for `m = 0..=mmax` (`out.len() == mmax + 1`).
+pub fn boys(t: f64, out: &mut [f64]) {
+    assert!(!out.is_empty());
+    let mmax = out.len() - 1;
+    debug_assert!(t >= 0.0, "Boys argument must be non-negative, got {t}");
+    if t < 1e-14 {
+        for (m, o) in out.iter_mut().enumerate() {
+            *o = 1.0 / (2 * m + 1) as f64;
+        }
+        return;
+    }
+    if t >= T_ASYMPTOTIC {
+        let exp_mt = (-t).exp();
+        out[0] = 0.5 * (std::f64::consts::PI / t).sqrt();
+        for m in 0..mmax {
+            out[m + 1] = ((2 * m + 1) as f64 * out[m] - exp_mt) / (2.0 * t);
+        }
+        return;
+    }
+    // Ascending series for the highest order:
+    //   F_m(T) = e^{-T} * sum_{i>=0} (2T)^i / ((2m+1)(2m+3)...(2m+2i+1))
+    let exp_mt = (-t).exp();
+    let two_t = 2.0 * t;
+    let mut term = 1.0 / (2 * mmax + 1) as f64;
+    let mut sum = term;
+    let mut denom = (2 * mmax + 1) as f64;
+    for _ in 1..=300 {
+        denom += 2.0;
+        term *= two_t / denom;
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    out[mmax] = exp_mt * sum;
+    // Downward recursion.
+    for m in (0..mmax).rev() {
+        out[m] = (two_t * out[m + 1] + exp_mt) / (2 * m + 1) as f64;
+    }
+}
+
+/// Convenience scalar version.
+pub fn boys_single(m: usize, t: f64) -> f64 {
+    let mut buf = vec![0.0; m + 1];
+    boys(t, &mut buf);
+    buf[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adaptive Simpson quadrature of the defining integral — slow but
+    /// independent of every code path above.
+    fn boys_quadrature(m: usize, t: f64) -> f64 {
+        let f = |x: f64| x.powi(2 * m as i32) * (-t * x * x).exp();
+        let n = 20_000;
+        let h = 1.0 / n as f64;
+        let mut s = f(0.0) + f(1.0);
+        for k in 1..n {
+            let x = k as f64 * h;
+            s += f(x) * if k % 2 == 1 { 4.0 } else { 2.0 };
+        }
+        s * h / 3.0
+    }
+
+    #[test]
+    fn zero_argument_is_exact() {
+        let mut out = [0.0; 6];
+        boys(0.0, &mut out);
+        for (m, v) in out.iter().enumerate() {
+            assert!((v - 1.0 / (2 * m + 1) as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn f0_matches_erf_formula() {
+        // F_0(1) = (sqrt(pi)/2) * erf(1): known value of erf(1) = 0.8427007929497149.
+        let want = 0.5 * std::f64::consts::PI.sqrt() * 0.8427007929497149;
+        assert!((boys_single(0, 1.0) - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matches_quadrature_across_regimes() {
+        for &t in &[0.01, 0.5, 2.0, 10.0, 30.0, 34.9, 35.1, 80.0, 200.0] {
+            for m in 0..=8 {
+                let got = boys_single(m, t);
+                let want = boys_quadrature(m, t);
+                assert!(
+                    (got - want).abs() < 1e-10 * (1.0 + want),
+                    "F_{m}({t}): got {got}, quadrature {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_at_the_branch_point() {
+        // F_m varies genuinely with T (dF/dT ~ -F), so allow for the change
+        // over the 2e-9 argument gap plus a safety margin; what this guards
+        // against is an O(1e-10)+ jump between the two evaluation branches.
+        for m in 0..=10 {
+            let below = boys_single(m, T_ASYMPTOTIC - 1e-9);
+            let above = boys_single(m, T_ASYMPTOTIC + 1e-9);
+            assert!(
+                (below - above).abs() < 1e-10 * (1.0 + below),
+                "discontinuity at branch for m={m}: {below} vs {above}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_t_and_m() {
+        let mut prev = [0.0; 5];
+        boys(0.0, &mut prev);
+        for k in 1..200 {
+            let t = k as f64 * 0.5;
+            let mut cur = [0.0; 5];
+            boys(t, &mut cur);
+            for m in 0..5 {
+                assert!(cur[m] <= prev[m] + 1e-15, "F_{m} not decreasing at T={t}");
+                assert!(cur[m] > 0.0);
+            }
+            for m in 1..5 {
+                assert!(cur[m] <= cur[m - 1], "F_m must decrease in m");
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn downward_recursion_consistency() {
+        // F_{m+1} and F_m must satisfy the recursion identity everywhere.
+        for &t in &[0.3, 3.0, 33.0, 60.0] {
+            let mut f = [0.0; 7];
+            boys(t, &mut f);
+            let e = (-t).exp();
+            for m in 0..6 {
+                let lhs = (2 * m + 1) as f64 * f[m];
+                let rhs = 2.0 * t * f[m + 1] + e;
+                assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()), "recursion broken at m={m}, T={t}");
+            }
+        }
+    }
+}

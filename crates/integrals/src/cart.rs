@@ -1,0 +1,107 @@
+//! Cartesian Gaussian component bookkeeping.
+//!
+//! A shell block of angular momentum `l` carries `(l+1)(l+2)/2` cartesian
+//! components `x^lx y^ly z^lz`. This module fixes their canonical order and
+//! provides the per-component normalization factors relative to the
+//! `(l,0,0)` component (whose normalization is folded into the contraction
+//! coefficients by `phi-chem`).
+
+/// Cartesian powers `(lx, ly, lz)` of one component.
+pub type Cart = (usize, usize, usize);
+
+/// Components of angular momentum `l` in canonical order:
+/// `lx` descending, then `ly` descending.
+///
+/// l = 1 gives x, y, z; l = 2 gives xx, xy, xz, yy, yz, zz (the GAMESS
+/// cartesian d order up to a permutation — any fixed order works as long as
+/// it is used consistently). Tables are computed once and cached; this
+/// function sits on the ERI hot path.
+pub fn components(l: usize) -> &'static [Cart] {
+    use std::sync::OnceLock;
+    const LMAX: usize = 8;
+    static TABLES: OnceLock<Vec<Vec<Cart>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| (0..=LMAX).map(components_uncached).collect());
+    &tables[l]
+}
+
+fn components_uncached(l: usize) -> Vec<Cart> {
+    let mut out = Vec::with_capacity((l + 1) * (l + 2) / 2);
+    for lx in (0..=l).rev() {
+        for ly in (0..=(l - lx)).rev() {
+            out.push((lx, ly, l - lx - ly));
+        }
+    }
+    out
+}
+
+/// Odd double factorial `(2n - 1)!!` with `(-1)!! = 1`.
+fn odd_df(n: usize) -> f64 {
+    let mut acc = 1.0;
+    let mut k = 2 * n as i64 - 1;
+    while k > 1 {
+        acc *= k as f64;
+        k -= 2;
+    }
+    acc
+}
+
+/// Normalization of component `(lx, ly, lz)` relative to `(l, 0, 0)`:
+/// `sqrt((2l-1)!! / ((2lx-1)!!(2ly-1)!!(2lz-1)!!))`.
+///
+/// Equals 1 for axial components (e.g. d_xx) and e.g. `sqrt(3)` for d_xy.
+pub fn component_norm((lx, ly, lz): Cart) -> f64 {
+    let l = lx + ly + lz;
+    (odd_df(l) / (odd_df(lx) * odd_df(ly) * odd_df(lz))).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts() {
+        for l in 0..6 {
+            assert_eq!(components(l).len(), (l + 1) * (l + 2) / 2);
+        }
+    }
+
+    #[test]
+    fn p_order_is_xyz() {
+        assert_eq!(components(1), &[(1, 0, 0), (0, 1, 0), (0, 0, 1)]);
+    }
+
+    #[test]
+    fn d_order_and_norms() {
+        let d = components(2);
+        assert_eq!(d[0], (2, 0, 0));
+        assert_eq!(d[3], (0, 2, 0));
+        assert_eq!(d[5], (0, 0, 2));
+        // Axial components have factor 1; cross terms sqrt(3).
+        assert!((component_norm((2, 0, 0)) - 1.0).abs() < 1e-15);
+        assert!((component_norm((1, 1, 0)) - 3f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn s_and_p_norms_are_unity() {
+        assert_eq!(component_norm((0, 0, 0)), 1.0);
+        for &c in components(1) {
+            assert_eq!(component_norm(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn f_cross_norms() {
+        // f_xyz: sqrt(5!!/(1*1*1)) = sqrt(15); f_xxy: sqrt(5!!/3!!) = sqrt(5).
+        assert!((component_norm((1, 1, 1)) - 15f64.sqrt()).abs() < 1e-12);
+        assert!((component_norm((2, 1, 0)) - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powers_sum_to_l() {
+        for l in 0..5 {
+            for (lx, ly, lz) in components(l) {
+                assert_eq!(lx + ly + lz, l);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Hermite Coulomb integrals `R^n_{tuv}(alpha, X, Y, Z)`.
+//!
+//! These are the derivatives of the Boys function that couple two Hermite
+//! Gaussian charge distributions:
+//!
+//! ```text
+//! R^n_{000} = (-2 alpha)^n F_n(alpha * R^2)
+//! R^n_{t+1,u,v} = t R^{n+1}_{t-1,u,v} + X R^{n+1}_{t,u,v}   (same for u, v)
+//! ```
+//!
+//! Only the `n = 0` slice is consumed by callers; the auxiliary orders exist
+//! during construction.
+
+use crate::boys::boys;
+
+/// Dense table of `R^0_{tuv}` for `t + u + v <= l_total`.
+#[derive(Clone, Debug)]
+pub struct RTable {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl RTable {
+    /// Build the table for total Hermite order `l_total`, screening exponent
+    /// `alpha` and center displacement `(x, y, z)`.
+    pub fn build(l_total: usize, alpha: f64, x: f64, y: f64, z: f64) -> RTable {
+        let dim = l_total + 1;
+        let r2 = x * x + y * y + z * z;
+        let mut fm = vec![0.0; l_total + 1];
+        boys(alpha * r2, &mut fm);
+
+        // aux[n][t][u][v]; we fold n into a rolling pair of buffers, highest
+        // order first. At step n we can compute entries with t+u+v <= l_total - n.
+        let vol = dim * dim * dim;
+        let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
+        let mut prev = vec![0.0; vol]; // order n + 1
+        let mut cur = vec![0.0; vol]; // order n
+        for n in (0..=l_total).rev() {
+            cur.iter_mut().for_each(|c| *c = 0.0);
+            cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * fm[n];
+            let reach = l_total - n;
+            // Fill by increasing total order so dependencies are ready.
+            for total in 1..=reach {
+                for t in 0..=total {
+                    for u in 0..=(total - t) {
+                        let v = total - t - u;
+                        let val = if t > 0 {
+                            let mut w = x * prev[idx(t - 1, u, v)];
+                            if t > 1 {
+                                w += (t - 1) as f64 * prev[idx(t - 2, u, v)];
+                            }
+                            w
+                        } else if u > 0 {
+                            let mut w = y * prev[idx(t, u - 1, v)];
+                            if u > 1 {
+                                w += (u - 1) as f64 * prev[idx(t, u - 2, v)];
+                            }
+                            w
+                        } else {
+                            let mut w = z * prev[idx(t, u, v - 1)];
+                            if v > 1 {
+                                w += (v - 1) as f64 * prev[idx(t, u, v - 2)];
+                            }
+                            w
+                        };
+                        cur[idx(t, u, v)] = val;
+                    }
+                }
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        // After the loop the n = 0 slice lives in `prev`.
+        RTable { dim, data: prev }
+    }
+
+    /// `R^0_{tuv}`.
+    #[inline]
+    pub fn get(&self, t: usize, u: usize, v: usize) -> f64 {
+        debug_assert!(t < self.dim && u < self.dim && v < self.dim);
+        self.data[(t * self.dim + u) * self.dim + v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boys::boys_single;
+
+    #[test]
+    fn zeroth_entry_is_f0() {
+        let (alpha, x, y, z) = (0.8, 0.4, -0.2, 1.0);
+        let tab = RTable::build(4, alpha, x, y, z);
+        let r2 = x * x + y * y + z * z;
+        assert!((tab.get(0, 0, 0) - boys_single(0, alpha * r2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn first_derivatives_match_finite_differences() {
+        // R^0_{100} = d/dX R^0_{000}(X, Y, Z) — verify numerically.
+        let (alpha, x, y, z) = (0.65, 0.7, -0.3, 0.5);
+        let h = 1e-6;
+        let f = |xx: f64| RTable::build(0, alpha, xx, y, z).get(0, 0, 0);
+        let numeric = (f(x + h) - f(x - h)) / (2.0 * h);
+        let tab = RTable::build(1, alpha, x, y, z);
+        assert!(
+            (tab.get(1, 0, 0) - numeric).abs() < 1e-7,
+            "{} vs {}",
+            tab.get(1, 0, 0),
+            numeric
+        );
+    }
+
+    #[test]
+    fn second_derivative_in_z() {
+        let (alpha, x, y, z) = (1.1, 0.2, 0.4, -0.6);
+        let h = 1e-4;
+        let f = |zz: f64| RTable::build(0, alpha, x, y, zz).get(0, 0, 0);
+        let numeric = (f(z + h) - 2.0 * f(z) + f(z - h)) / (h * h);
+        let tab = RTable::build(2, alpha, x, y, z);
+        assert!(
+            (tab.get(0, 0, 2) - numeric).abs() < 1e-5,
+            "{} vs {}",
+            tab.get(0, 0, 2),
+            numeric
+        );
+    }
+
+    #[test]
+    fn mixed_derivative_symmetry() {
+        // R_{110} must equal d2/dXdY, symmetric in the order of differentiation;
+        // check against cross finite differences.
+        let (alpha, x, y, z) = (0.9, 0.5, 0.3, 0.0);
+        let h = 1e-4;
+        let f = |xx: f64, yy: f64| RTable::build(0, alpha, xx, yy, z).get(0, 0, 0);
+        let numeric = (f(x + h, y + h) - f(x + h, y - h) - f(x - h, y + h) + f(x - h, y - h))
+            / (4.0 * h * h);
+        let tab = RTable::build(2, alpha, x, y, z);
+        assert!((tab.get(1, 1, 0) - numeric).abs() < 1e-5);
+    }
+
+    #[test]
+    fn axis_permutation_symmetry() {
+        // Swapping (X, t) with (Y, u) must leave values unchanged.
+        let tab_a = RTable::build(3, 0.75, 0.8, -0.1, 0.3);
+        let tab_b = RTable::build(3, 0.75, -0.1, 0.8, 0.3);
+        for t in 0..=2 {
+            for u in 0..=(2 - t) {
+                assert!((tab_a.get(t, u, 1) - tab_b.get(u, t, 1)).abs() < 1e-14);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Wall-clock calibration of per-quartet ERI + digestion costs.
+//!
+//! Runs the *real* integral engine and Fock digestion on representative
+//! shell quartets of each class pair and measures nanoseconds per quartet.
+//! The simulator then distributes these measured costs, so its workload is
+//! anchored in the actual code, not in guesses. (The analytic table in
+//! [`crate::cost::EriCostTable::analytic`] exists as a deterministic
+//! fallback for tests.)
+
+use crate::cost::EriCostTable;
+use hf::fock::{digest_quartet, TriSink};
+use phi_chem::BasisSet;
+use phi_integrals::screening::ShellClasses;
+use phi_integrals::EriEngine;
+use phi_linalg::Mat;
+use std::time::Instant;
+
+/// Minimum measurement window per class pair.
+const MIN_WINDOW_S: f64 = 0.002;
+
+/// Measure the cost table for a basis on this host.
+pub fn calibrate_eri_costs(basis: &BasisSet, classes: &ShellClasses) -> EriCostTable {
+    let reps_shells = classes.representatives();
+    let nc = classes.n_classes();
+    let npc = classes.n_pair_classes();
+    let n = basis.n_basis();
+    let d = Mat::from_fn(n, n, |i, j| {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        0.3 + ((i + 2 * j) % 7) as f64 * 0.05
+    });
+    let mut engine = EriEngine::new();
+    engine.prefactor_cutoff = 0.0; // measure the un-screened kernel cost
+    let mut fbuf = vec![0.0; n * n];
+    let mut ns = vec![0.0; npc * npc];
+
+    let mut eri_buf: Vec<f64> = Vec::new();
+    for a1 in 0..nc {
+        for a2 in 0..=a1 {
+            let bra_pc = a1 * (a1 + 1) / 2 + a2;
+            for b1 in 0..nc {
+                for b2 in 0..=b1 {
+                    let ket_pc = b1 * (b1 + 1) / 2 + b2;
+                    let (si, sj, sk, sl) =
+                        (reps_shells[a1], reps_shells[a2], reps_shells[b1], reps_shells[b2]);
+                    let (sa, sb, sc, sd) =
+                        (&basis.shells[si], &basis.shells[sj], &basis.shells[sk], &basis.shells[sl]);
+                    let len = sa.n_functions() * sb.n_functions() * sc.n_functions()
+                        * sd.n_functions();
+                    eri_buf.clear();
+                    eri_buf.resize(len, 0.0);
+                    // Warm up once, then time batches until the window is
+                    // long enough to trust.
+                    engine.shell_quartet(sa, sb, sc, sd, &mut eri_buf);
+                    let mut total_reps = 0u64;
+                    let start = Instant::now();
+                    loop {
+                        for _ in 0..16 {
+                            engine.shell_quartet(sa, sb, sc, sd, &mut eri_buf);
+                            let mut sink = TriSink { buf: &mut fbuf, n };
+                            digest_quartet(basis, si, sj, sk, sl, &eri_buf, &d, &mut sink);
+                        }
+                        total_reps += 16;
+                        if start.elapsed().as_secs_f64() >= MIN_WINDOW_S {
+                            break;
+                        }
+                    }
+                    ns[bra_pc * npc + ket_pc] =
+                        start.elapsed().as_secs_f64() * 1e9 / total_reps as f64;
+                }
+            }
+        }
+    }
+    EriCostTable { n_pair_classes: npc, ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_chem::basis::BasisName;
+    use phi_chem::geom::small;
+
+    #[test]
+    fn calibration_produces_sane_magnitudes() {
+        let b = BasisSet::build(&small::c_ring(6, 1.39), BasisName::B631gd);
+        let classes = ShellClasses::classify(&b);
+        let t = calibrate_eri_costs(&b, &classes);
+        for v in &t.ns {
+            assert!(*v > 10.0, "quartet under 10 ns is implausible: {v}");
+            assert!(*v < 1e7, "quartet over 10 ms is implausible: {v}");
+        }
+        // The heaviest contraction (S6 pairs both sides: 36x36 primitive
+        // quartets) must beat the lightest (D1 pairs: 1). The true ratio is
+        // ~100x; the loose bound tolerates timer noise when the test suite
+        // shares one core.
+        let pc = |a: usize, b: usize| a * (a + 1) / 2 + b;
+        assert!(
+            t.get(pc(0, 0), pc(0, 0)) > 1.5 * t.get(pc(3, 3), pc(3, 3)),
+            "S6 quartet {} ns vs D1 quartet {} ns",
+            t.get(pc(0, 0), pc(0, 0)),
+            t.get(pc(3, 3), pc(3, 3))
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! KNL node parameters, cluster modes and memory modes (paper §5.1).
+
+/// Second-generation Xeon Phi node (models 7210/7230 as benchmarked).
+#[derive(Clone, Copy, Debug)]
+pub struct KnlNode {
+    pub cores: usize,
+    pub smt: usize,
+    pub freq_ghz: f64,
+    pub mcdram_gb: f64,
+    pub mcdram_bw_gbs: f64,
+    pub ddr_gb: f64,
+    pub ddr_bw_gbs: f64,
+}
+
+impl Default for KnlNode {
+    fn default() -> Self {
+        KnlNode {
+            cores: 64,
+            smt: 4,
+            freq_ghz: 1.3,
+            mcdram_gb: 16.0,
+            mcdram_bw_gbs: 400.0,
+            ddr_gb: 192.0,
+            ddr_bw_gbs: 100.0,
+        }
+    }
+}
+
+impl KnlNode {
+    pub fn total_memory_gb(&self) -> f64 {
+        self.mcdram_gb + self.ddr_gb
+    }
+
+    pub fn hw_threads(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Relative per-core throughput with `load` hardware threads resident
+    /// (paper §6.1: two threads per core give the highest benefit, three
+    /// and four some gain "at a diminished level"). Fractional loads are
+    /// interpolated.
+    pub fn core_throughput(&self, load: f64) -> f64 {
+        // Control points at 1..4 threads/core.
+        const TP: [f64; 4] = [1.0, 1.5, 1.62, 1.70];
+        if load <= 1.0 {
+            return TP[0] * load.max(0.0);
+        }
+        if load >= 4.0 {
+            return TP[3];
+        }
+        let lo = load.floor() as usize; // 1..3
+        let frac = load - lo as f64;
+        TP[lo - 1] * (1.0 - frac) + TP[lo] * frac
+    }
+}
+
+/// Cache-coherence cluster mode of the tag-directory mesh (paper §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClusterMode {
+    AllToAll,
+    Quadrant,
+    Hemisphere,
+    Snc4,
+    Snc2,
+}
+
+impl ClusterMode {
+    pub const ALL: [ClusterMode; 5] = [
+        ClusterMode::Quadrant,
+        ClusterMode::Hemisphere,
+        ClusterMode::Snc4,
+        ClusterMode::Snc2,
+        ClusterMode::AllToAll,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterMode::AllToAll => "all-to-all",
+            ClusterMode::Quadrant => "quadrant",
+            ClusterMode::Hemisphere => "hemisphere",
+            ClusterMode::Snc4 => "SNC-4",
+            ClusterMode::Snc2 => "SNC-2",
+        }
+    }
+
+    /// Multiplier on memory/coherence-sensitive time. `shared_intensity`
+    /// in [0, 1] expresses how much of the algorithm's traffic goes through
+    /// shared, coherence-visible structures (0 = fully replicated MPI-only
+    /// data, 1 = shared Fock). All-to-all loses tag-directory locality and
+    /// punishes shared traffic hardest — this is what lets the MPI-only
+    /// code beat the shared-Fock code in all-to-all mode on small systems
+    /// (paper Fig. 5).
+    pub fn coherence_factor(self, shared_intensity: f64) -> f64 {
+        let (base, shared) = match self {
+            ClusterMode::Quadrant => (1.0, 0.02),
+            ClusterMode::Hemisphere => (1.01, 0.03),
+            ClusterMode::Snc4 => (1.005, 0.035),
+            ClusterMode::Snc2 => (1.01, 0.04),
+            ClusterMode::AllToAll => (1.06, 0.85),
+        };
+        base + shared * shared_intensity
+    }
+}
+
+/// MCDRAM configuration (paper §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoryMode {
+    /// MCDRAM as a direct-mapped cache in front of DDR4 (the paper's
+    /// choice, "quad-cache").
+    Cache,
+    /// Flat: allocations pinned in MCDRAM (infeasible above 16 GB).
+    FlatMcdram,
+    /// Flat: allocations in DDR4 only.
+    FlatDdr,
+    /// Half MCDRAM as cache, half flat.
+    Hybrid,
+}
+
+impl MemoryMode {
+    pub const ALL: [MemoryMode; 4] =
+        [MemoryMode::Cache, MemoryMode::FlatMcdram, MemoryMode::FlatDdr, MemoryMode::Hybrid];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryMode::Cache => "cache",
+            MemoryMode::FlatMcdram => "flat-MCDRAM",
+            MemoryMode::FlatDdr => "flat-DDR",
+            MemoryMode::Hybrid => "hybrid",
+        }
+    }
+
+    /// Effective bandwidth for a working set of `ws_gb`, and feasibility.
+    pub fn effective_bandwidth(self, node: &KnlNode, ws_gb: f64) -> Option<f64> {
+        match self {
+            MemoryMode::Cache => {
+                // Fraction of the working set resident in the MCDRAM cache.
+                let hit = (node.mcdram_gb / ws_gb).min(1.0);
+                Some(hit * node.mcdram_bw_gbs + (1.0 - hit) * node.ddr_bw_gbs)
+            }
+            MemoryMode::FlatMcdram => {
+                if ws_gb <= node.mcdram_gb {
+                    Some(node.mcdram_bw_gbs)
+                } else {
+                    None
+                }
+            }
+            MemoryMode::FlatDdr => {
+                if ws_gb <= node.ddr_gb {
+                    Some(node.ddr_bw_gbs)
+                } else {
+                    None
+                }
+            }
+            MemoryMode::Hybrid => {
+                let cache_gb = node.mcdram_gb / 2.0;
+                let hit = (cache_gb / ws_gb).min(1.0);
+                Some(hit * node.mcdram_bw_gbs + (1.0 - hit) * node.ddr_bw_gbs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_throughput_matches_the_papers_smt_story() {
+        let node = KnlNode::default();
+        let t1 = node.core_throughput(1.0);
+        let t2 = node.core_throughput(2.0);
+        let t3 = node.core_throughput(3.0);
+        let t4 = node.core_throughput(4.0);
+        // Biggest jump 1 -> 2; diminishing gains to 3 and 4.
+        assert!(t2 > t1);
+        assert!(t2 - t1 > t3 - t2);
+        assert!(t3 - t2 >= t4 - t3);
+        assert!(t4 < 2.0 * t1, "SMT never doubles throughput");
+        // Interpolation is monotone.
+        assert!(node.core_throughput(1.5) > t1);
+        assert!(node.core_throughput(1.5) < t2);
+    }
+
+    #[test]
+    fn quadrant_is_the_best_cluster_mode() {
+        for intensity in [0.0, 0.5, 1.0] {
+            for mode in ClusterMode::ALL {
+                assert!(
+                    mode.coherence_factor(intensity)
+                        >= ClusterMode::Quadrant.coherence_factor(intensity) - 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_punishes_shared_structures_hardest() {
+        let a2a = ClusterMode::AllToAll;
+        let quad = ClusterMode::Quadrant;
+        let penalty_shared = a2a.coherence_factor(1.0) / quad.coherence_factor(1.0);
+        let penalty_private = a2a.coherence_factor(0.0) / quad.coherence_factor(0.0);
+        assert!(penalty_shared > penalty_private);
+        assert!(penalty_shared > 1.5);
+    }
+
+    #[test]
+    fn cache_mode_degrades_with_working_set() {
+        let node = KnlNode::default();
+        let small = MemoryMode::Cache.effective_bandwidth(&node, 8.0).unwrap();
+        let large = MemoryMode::Cache.effective_bandwidth(&node, 64.0).unwrap();
+        assert_eq!(small, node.mcdram_bw_gbs);
+        assert!(large < small);
+        assert!(large > node.ddr_bw_gbs);
+    }
+
+    #[test]
+    fn flat_mcdram_is_infeasible_beyond_16gb() {
+        let node = KnlNode::default();
+        assert!(MemoryMode::FlatMcdram.effective_bandwidth(&node, 15.0).is_some());
+        assert!(MemoryMode::FlatMcdram.effective_bandwidth(&node, 17.0).is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Spectral powers of symmetric positive (semi)definite matrices.
+//!
+//! The SCF code needs `S^(-1/2)` for symmetric (Löwdin) orthogonalization of
+//! the atomic-orbital basis. Near-linear dependencies in large diffuse bases
+//! show up as tiny overlap eigenvalues; eigenvectors below `threshold` are
+//! projected out (canonical-orthogonalization style), which matches what
+//! production codes do.
+
+use crate::eigen::eigh;
+use crate::matrix::Mat;
+
+/// `A^p` for symmetric `A` via the spectral decomposition.
+///
+/// Eigenvalues with `|lambda| < threshold` are treated as exact zeros: their
+/// contribution is dropped entirely (for negative `p` this is the
+/// pseudo-inverse convention).
+pub fn sym_pow(a: &Mat, p: f64, threshold: f64) -> Mat {
+    let eig = eigh(a);
+    eig.apply(|x| if x.abs() < threshold { 0.0 } else { x.powf(p) })
+}
+
+/// Löwdin orthogonalization matrix `X = S^(-1/2)` with linear-dependence
+/// screening. `X S X = I` on the retained subspace.
+pub fn sym_inv_sqrt(s: &Mat, threshold: f64) -> Mat {
+    sym_pow(s, -0.5, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix(n: usize, seed: u64) -> Mat {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let b = Mat::from_fn(n, n, |_, _| next());
+        // BᵀB + n·I is symmetric positive definite.
+        let mut a = b.matmul_tn(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn inv_sqrt_orthogonalizes() {
+        let s = spd_matrix(15, 3);
+        let x = sym_inv_sqrt(&s, 1e-10);
+        let should_be_identity = s.congruence(&x);
+        assert!(should_be_identity.max_abs_diff(&Mat::identity(15)) < 1e-9);
+    }
+
+    #[test]
+    fn pow_one_is_identity_map() {
+        let s = spd_matrix(8, 11);
+        let s1 = sym_pow(&s, 1.0, 1e-12);
+        assert!(s1.max_abs_diff(&s) < 1e-9);
+    }
+
+    #[test]
+    fn half_power_squares_back() {
+        let s = spd_matrix(10, 17);
+        let r = sym_pow(&s, 0.5, 1e-12);
+        assert!(r.matmul(&r).max_abs_diff(&s) < 1e-8);
+    }
+
+    #[test]
+    fn threshold_projects_out_null_space() {
+        // Rank-1 matrix vvᵀ with v = (1,1): eigenvalues {0, 2}.
+        let s = Mat::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let x = sym_inv_sqrt(&s, 1e-8);
+        // X should be (1/sqrt(2)) * (vvᵀ/2): finite, no blow-up from the zero.
+        assert!(x.max_abs() < 1.0);
+        // X S X should be the projector onto span(v), not the identity.
+        let p = s.congruence(&x);
+        assert!((p.trace() - 1.0).abs() < 1e-10);
+    }
+}

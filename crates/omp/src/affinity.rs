@@ -1,0 +1,93 @@
+//! Thread-affinity descriptors (the `KMP_AFFINITY` axis of paper Figure 3).
+//!
+//! On the real Xeon Phi, affinity decides how software threads map onto the
+//! 64 cores x 4 hardware threads, which changes L2-tile sharing and hence
+//! performance. This process cannot pin threads meaningfully (and the
+//! experiments that depend on affinity are simulator-driven), so the enum
+//! carries the *placement semantics* that `phi-knlsim` turns into
+//! efficiency factors.
+
+/// Placement policy for a rank's threads over its cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Affinity {
+    /// Fill hardware threads of a core before moving to the next core
+    /// (`KMP_AFFINITY=compact`). Dense L2 sharing; best cache reuse for
+    /// neighbouring iterations, worst per-thread issue width at low thread
+    /// counts.
+    Compact,
+    /// Spread threads across cores first (`KMP_AFFINITY=scatter`). Maximal
+    /// per-thread resources at low counts; more L2 traffic between
+    /// cooperating threads.
+    Scatter,
+    /// Spread across cores, then pack SMT siblings adjacently
+    /// (`KMP_AFFINITY=balanced` — the KNL-specific mode).
+    Balanced,
+    /// No pinning: the OS migrates threads freely (`KMP_AFFINITY=none`).
+    None,
+}
+
+impl Affinity {
+    pub const ALL: [Affinity; 4] =
+        [Affinity::Compact, Affinity::Scatter, Affinity::Balanced, Affinity::None];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Affinity::Compact => "compact",
+            Affinity::Scatter => "scatter",
+            Affinity::Balanced => "balanced",
+            Affinity::None => "none",
+        }
+    }
+
+    /// How many distinct physical cores `n_threads` occupy on a machine
+    /// with `cores` cores and `smt` hardware threads per core.
+    pub fn cores_used(self, n_threads: usize, cores: usize, smt: usize) -> usize {
+        match self {
+            Affinity::Compact => n_threads.div_ceil(smt).min(cores),
+            // Scatter/balanced/none spread over cores first.
+            _ => n_threads.min(cores),
+        }
+    }
+
+    /// Maximum hardware threads resident on any single core.
+    pub fn max_smt_load(self, n_threads: usize, cores: usize, smt: usize) -> usize {
+        match self {
+            Affinity::Compact => n_threads.min(smt),
+            _ => n_threads.div_ceil(cores).min(smt).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_fills_cores_first() {
+        // 8 threads compact on KNL: 2 cores at 4 SMT each.
+        assert_eq!(Affinity::Compact.cores_used(8, 64, 4), 2);
+        assert_eq!(Affinity::Compact.max_smt_load(8, 64, 4), 4);
+    }
+
+    #[test]
+    fn scatter_spreads_cores_first() {
+        assert_eq!(Affinity::Scatter.cores_used(8, 64, 4), 8);
+        assert_eq!(Affinity::Scatter.max_smt_load(8, 64, 4), 1);
+    }
+
+    #[test]
+    fn saturation_is_equal_for_all_policies() {
+        for a in Affinity::ALL {
+            assert_eq!(a.cores_used(256, 64, 4), 64);
+            assert_eq!(a.max_smt_load(256, 64, 4), 4);
+        }
+    }
+
+    #[test]
+    fn single_thread() {
+        for a in Affinity::ALL {
+            assert_eq!(a.cores_used(1, 64, 4), 1);
+            assert_eq!(a.max_smt_load(1, 64, 4), 1);
+        }
+    }
+}

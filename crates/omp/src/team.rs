@@ -1,0 +1,391 @@
+//! Thread teams and parallel regions.
+
+use crate::schedule::{guided_chunk, static_chunks, Schedule};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// A fixed-size thread team. One `parallel` call is one OpenMP parallel
+/// region: the closure runs once per thread, with worksharing constructs
+/// available through [`ThreadCtx`].
+pub struct Team {
+    n_threads: usize,
+}
+
+/// State shared by all threads of one parallel region.
+struct RegionShared {
+    barrier: Barrier,
+    /// One shared iteration counter per worksharing construct, indexed by
+    /// the order in which the (synchronized) team encounters them.
+    loop_counters: Mutex<Vec<Arc<AtomicUsize>>>,
+    critical: Mutex<()>,
+    /// Claim flags for `single` constructs, one per construct sequence slot.
+    single_claims: Mutex<Vec<Arc<AtomicUsize>>>,
+}
+
+impl RegionShared {
+    fn counter(&self, seq: usize) -> Arc<AtomicUsize> {
+        let mut v = self.loop_counters.lock();
+        while v.len() <= seq {
+            v.push(Arc::new(AtomicUsize::new(0)));
+        }
+        v[seq].clone()
+    }
+
+    fn single_claim(&self, seq: usize) -> Arc<AtomicUsize> {
+        let mut v = self.single_claims.lock();
+        while v.len() <= seq {
+            v.push(Arc::new(AtomicUsize::new(0)));
+        }
+        v[seq].clone()
+    }
+}
+
+/// Per-thread view of a parallel region.
+pub struct ThreadCtx<'a> {
+    thread_num: usize,
+    n_threads: usize,
+    shared: &'a RegionShared,
+    /// Position in the sequence of worksharing constructs this thread has
+    /// encountered (must match across the team, as in OpenMP).
+    loop_seq: Cell<usize>,
+}
+
+impl Team {
+    pub fn new(n_threads: usize) -> Team {
+        assert!(n_threads >= 1, "a team needs at least one thread");
+        Team { n_threads }
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run a parallel region; returns each thread's result, indexed by
+    /// thread number.
+    pub fn parallel<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadCtx<'_>) -> R + Sync,
+    {
+        let shared = RegionShared {
+            barrier: Barrier::new(self.n_threads),
+            loop_counters: Mutex::new(Vec::new()),
+            critical: Mutex::new(()),
+            single_claims: Mutex::new(Vec::new()),
+        };
+        let n = self.n_threads;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for t in 1..n {
+                let shared = &shared;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let ctx = ThreadCtx {
+                        thread_num: t,
+                        n_threads: n,
+                        shared,
+                        loop_seq: Cell::new(0),
+                    };
+                    f(&ctx)
+                }));
+            }
+            // Thread 0 (the master) runs on the caller's thread.
+            let ctx =
+                ThreadCtx { thread_num: 0, n_threads: n, shared: &shared, loop_seq: Cell::new(0) };
+            let r0 = f(&ctx);
+            let mut results = vec![r0];
+            for h in handles {
+                results.push(h.join().expect("team thread panicked"));
+            }
+            results
+        })
+    }
+}
+
+impl ThreadCtx<'_> {
+    pub fn thread_num(&self) -> usize {
+        self.thread_num
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    pub fn is_master(&self) -> bool {
+        self.thread_num == 0
+    }
+
+    /// Team barrier (`!$omp barrier`).
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Run `f` on the master thread only (`!$omp master`). No implied
+    /// barrier — combine with [`barrier`](Self::barrier) as the paper does.
+    pub fn master<T>(&self, f: impl FnOnce() -> T) -> Option<T> {
+        if self.is_master() {
+            Some(f())
+        } else {
+            None
+        }
+    }
+
+    /// Mutual exclusion (`!$omp critical`).
+    pub fn critical<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.shared.critical.lock();
+        f()
+    }
+
+    /// Worksharing loop over `0..n` (`!$omp do schedule(...)`), with the
+    /// implicit barrier at the end. Every thread of the team must call this
+    /// with the same `n` and `sched`.
+    pub fn for_each(&self, n: usize, sched: Schedule, mut body: impl FnMut(usize)) {
+        self.for_each_nowait(n, sched, &mut body);
+        self.barrier();
+    }
+
+    /// Worksharing loop without the trailing barrier (`nowait`).
+    pub fn for_each_nowait(&self, n: usize, sched: Schedule, body: &mut impl FnMut(usize)) {
+        match sched {
+            Schedule::Static { chunk } => {
+                for (lo, hi) in static_chunks(n, chunk, self.thread_num, self.n_threads) {
+                    for i in lo..hi {
+                        body(i);
+                    }
+                }
+                // Static schedules don't need the shared counter, but the
+                // construct still occupies a sequence slot so mixed-schedule
+                // regions stay aligned across threads.
+                self.next_counter();
+            }
+            Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                let counter = self.next_counter();
+                loop {
+                    let lo = counter.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    for i in lo..(lo + chunk).min(n) {
+                        body(i);
+                    }
+                }
+            }
+            Schedule::Guided { min_chunk } => {
+                let counter = self.next_counter();
+                loop {
+                    // Optimistically size the chunk from the remaining work,
+                    // then claim it.
+                    let seen = counter.load(Ordering::Relaxed);
+                    if seen >= n {
+                        break;
+                    }
+                    let chunk = guided_chunk(n - seen, self.n_threads, min_chunk);
+                    let lo = counter.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    for i in lo..(lo + chunk).min(n) {
+                        body(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collapsed two-level worksharing loop over the rectangle
+    /// `(0..n1) x (0..n2)` (`!$omp do collapse(2)`), with the implicit
+    /// trailing barrier. This is how Algorithm 2 merges its `j` and `k`
+    /// loops to enlarge the task pool.
+    pub fn collapse2(&self, n1: usize, n2: usize, sched: Schedule, mut body: impl FnMut(usize, usize)) {
+        if n2 == 0 {
+            // Degenerate rectangle: still a worksharing construct.
+            self.for_each(0, sched, |_| {});
+            return;
+        }
+        self.for_each(n1 * n2, sched, |flat| body(flat / n2, flat % n2));
+    }
+
+    /// `!$omp single`: the first thread to arrive runs `f`; the implicit
+    /// barrier at the end synchronizes the team. Returns `Some(result)` on
+    /// the executing thread, `None` elsewhere.
+    pub fn single<T>(&self, f: impl FnOnce() -> T) -> Option<T> {
+        let seq = self.loop_seq.get();
+        self.loop_seq.set(seq + 1);
+        let claim = self.shared.single_claim(seq);
+        let result = if claim.fetch_add(1, Ordering::AcqRel) == 0 { Some(f()) } else { None };
+        self.barrier();
+        result
+    }
+
+    /// `!$omp sections`: each closure runs on exactly one thread, with the
+    /// implicit barrier at the end. Sections are distributed dynamically.
+    pub fn sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        self.for_each(sections.len(), Schedule::dynamic1(), |k| sections[k]());
+    }
+
+    fn next_counter(&self) -> Arc<AtomicUsize> {
+        let seq = self.loop_seq.get();
+        self.loop_seq.set(seq + 1);
+        self.shared.counter(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn region_runs_once_per_thread() {
+        let team = Team::new(4);
+        let results = team.parallel(|ctx| ctx.thread_num());
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn master_runs_exactly_once() {
+        let team = Team::new(4);
+        let count = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            ctx.master(|| count.fetch_add(1, Ordering::SeqCst));
+            ctx.barrier();
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    fn check_loop_covers(sched: Schedule) {
+        let team = Team::new(3);
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        team.parallel(|ctx| {
+            ctx.for_each(n, sched, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} under {sched:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_loop_covers_every_index_once() {
+        check_loop_covers(Schedule::Dynamic { chunk: 1 });
+        check_loop_covers(Schedule::Dynamic { chunk: 7 });
+    }
+
+    #[test]
+    fn static_loop_covers_every_index_once() {
+        check_loop_covers(Schedule::Static { chunk: 4 });
+    }
+
+    #[test]
+    fn guided_loop_covers_every_index_once() {
+        check_loop_covers(Schedule::Guided { min_chunk: 2 });
+    }
+
+    #[test]
+    fn collapse2_visits_full_rectangle() {
+        let team = Team::new(4);
+        let (n1, n2) = (17, 23);
+        let hits: Vec<AtomicU64> = (0..n1 * n2).map(|_| AtomicU64::new(0)).collect();
+        team.parallel(|ctx| {
+            ctx.collapse2(n1, n2, Schedule::dynamic1(), |i, j| {
+                hits[i * n2 + j].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn consecutive_loops_use_fresh_counters() {
+        let team = Team::new(2);
+        let total = AtomicU64::new(0);
+        team.parallel(|ctx| {
+            for _ in 0..5 {
+                ctx.for_each(10, Schedule::dynamic1(), |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn critical_sections_are_mutually_exclusive() {
+        let team = Team::new(4);
+        // A non-atomic counter protected only by `critical`: races would be
+        // caught by the final count (and by Miri/TSan-style tooling).
+        let counter = Mutex::new(0u64);
+        team.parallel(|ctx| {
+            for _ in 0..1000 {
+                ctx.critical(|| {
+                    let mut c = counter.lock();
+                    *c += 1;
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), 4000);
+    }
+
+    #[test]
+    fn single_runs_on_exactly_one_thread() {
+        let team = Team::new(4);
+        let count = AtomicU64::new(0);
+        let results = team.parallel(|ctx| {
+            let mut mine = 0;
+            for _ in 0..10 {
+                if ctx.single(|| count.fetch_add(1, Ordering::SeqCst)).is_some() {
+                    mine += 1;
+                }
+            }
+            mine
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10, "each single runs once");
+        let total: usize = results.iter().sum();
+        assert_eq!(total, 10, "exactly one executor per construct");
+    }
+
+    #[test]
+    fn sections_each_run_once() {
+        let team = Team::new(3);
+        let hits: Vec<AtomicU64> = (0..5).map(|_| AtomicU64::new(0)).collect();
+        team.parallel(|ctx| {
+            let fns: Vec<Box<dyn Fn() + Sync>> = (0..5)
+                .map(|k| {
+                    let hits = &hits;
+                    Box::new(move || {
+                        hits[k].fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn Fn() + Sync>
+                })
+                .collect();
+            let refs: Vec<&(dyn Fn() + Sync)> = fns.iter().map(|b| b.as_ref()).collect();
+            ctx.sections(&refs);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_team_works() {
+        let team = Team::new(1);
+        let r = team.parallel(|ctx| {
+            let mut sum = 0usize;
+            ctx.for_each(100, Schedule::dynamic1(), |i| sum += i);
+            sum
+        });
+        assert_eq!(r[0], 4950);
+    }
+
+    #[test]
+    fn collapse2_with_empty_inner_dimension() {
+        let team = Team::new(2);
+        team.parallel(|ctx| {
+            // Must not deadlock or divide by zero.
+            ctx.collapse2(5, 0, Schedule::dynamic1(), |_, _| panic!("no iterations expected"));
+        });
+    }
+}

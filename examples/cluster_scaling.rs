@@ -1,0 +1,47 @@
+//! Predict multi-node KNL scaling for a user-sized carbon system with the
+//! calibrated cluster simulator — the machinery behind Figures 6/7.
+//!
+//! ```sh
+//! cargo run --release --example cluster_scaling            # C12 ring
+//! cargo run --release --example cluster_scaling -- 24      # C24 ring
+//! ```
+
+use phi_scf::chem::basis::BasisName;
+use phi_scf::chem::geom::small;
+use phi_scf::knlsim::des::{simulate, SimAlgorithm, SimConfig};
+use phi_scf::knlsim::scenarios::Ctx;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let mol = small::c_ring(n, 1.40);
+    let ctx = Ctx::from_molecule(
+        &format!("C{n} ring / 6-31G(d)"),
+        &mol,
+        BasisName::B631gd,
+        1e-10,
+        0.0,
+        true, // wall-clock calibrated ERI costs
+    );
+    println!(
+        "{}: {} shells, {} surviving ij tasks, {:.2e} surviving quartets\n",
+        ctx.label,
+        ctx.workload.n_shells,
+        ctx.workload.ij_tasks.len(),
+        ctx.workload.surviving_quartets as f64
+    );
+    println!("{:>6} {:>14} {:>14} {:>14}", "nodes", "MPI-only s", "private Fock s", "shared Fock s");
+    for nodes in [1usize, 2, 4, 8, 16, 32] {
+        let mut row = format!("{nodes:>6}");
+        for alg in [SimAlgorithm::MpiOnly, SimAlgorithm::PrivateFock, SimAlgorithm::SharedFock] {
+            let cfg = if alg == SimAlgorithm::MpiOnly {
+                SimConfig::mpi_only(nodes)
+            } else {
+                SimConfig::hybrid(alg, nodes)
+            };
+            let r = simulate(&ctx.workload, &ctx.cost, &cfg);
+            row += &format!(" {:>14.3}", r.total_seconds);
+        }
+        println!("{row}");
+    }
+    println!("\n(model seconds for a full 16-iteration SCF on simulated KNL nodes)");
+}

@@ -1,0 +1,31 @@
+//! Property analysis on converged wavefunctions: dipole moment, Mulliken
+//! charges, MP2 correlation — the "full functionality" side of the GAMESS
+//! code the paper's hybrid versions preserve.
+//!
+//! ```sh
+//! cargo run --release --example properties
+//! ```
+
+use phi_scf::chem::basis::{BasisName, BasisSet};
+use phi_scf::chem::geom::small;
+use phi_scf::hf::{dipole_moment, mp2_energy, mulliken_charges, run_scf, ScfConfig};
+
+fn main() {
+    for (name, mol) in [("water", small::water()), ("methane", small::methane())] {
+        let basis = BasisSet::build(&mol, BasisName::B631g);
+        let scf = run_scf(&mol, &basis, &ScfConfig::default());
+        assert!(scf.converged);
+        let dip = dipole_moment(&mol, &basis, &scf.density);
+        let charges = mulliken_charges(&mol, &basis, &scf.density);
+        let mp2 = mp2_energy(&basis, &scf.orbitals, &scf.orbital_energies, mol.n_occupied(), scf.energy);
+        println!("{name} / 6-31G");
+        println!("  E(RHF)  = {:>14.8} Eh", scf.energy);
+        println!("  E(MP2)  = {:>14.8} Eh  (corr {:+.6})", mp2.total_energy, mp2.correlation_energy);
+        println!("  dipole  = {:>10.4} D", dip.magnitude_debye());
+        print!("  Mulliken charges:");
+        for (a, q) in mol.atoms().iter().zip(&charges) {
+            print!("  {}{:+.3}", a.element.symbol(), q);
+        }
+        println!("\n");
+    }
+}

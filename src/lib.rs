@@ -1,0 +1,15 @@
+//! Facade crate for the phi-scf workspace: a Rust reproduction of
+//! Mironov et al., "An efficient MPI/OpenMP parallelization of the
+//! Hartree-Fock method for the second generation of Intel Xeon Phi
+//! processor" (SC'17).
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! downstream users can depend on a single crate.
+
+pub use hf;
+pub use phi_chem as chem;
+pub use phi_dmpi as dmpi;
+pub use phi_integrals as integrals;
+pub use phi_knlsim as knlsim;
+pub use phi_linalg as linalg;
+pub use phi_omp as omp;

@@ -1,0 +1,229 @@
+//! `phi-scf` command-line interface: run Hartree-Fock on built-in
+//! geometries with any of the paper's Fock-build algorithms.
+//!
+//! ```sh
+//! phi-scf --molecule water --basis 631gd --algorithm shared:2x2
+//! phi-scf --molecule ring:8 --basis sto3g --algorithm private:1x4
+//! phi-scf --molecule h2:1.4 --uhf 1,1
+//! phi-scf --help
+//! ```
+
+use phi_scf::chem::basis::{BasisName, BasisSet};
+use phi_scf::chem::geom::{graphene, small};
+use phi_scf::chem::Molecule;
+use phi_scf::hf::{mp2_energy, run_scf, run_uhf, FockAlgorithm, ScfConfig, UhfConfig};
+
+const HELP: &str = "\
+phi-scf — Hartree-Fock with the SC'17 hybrid MPI/OpenMP Fock builders
+
+USAGE:
+    phi-scf [OPTIONS]
+
+OPTIONS:
+    --molecule <NAME>    water | methane | benzene | h2[:R_bohr] | hehp |
+                         ring:<n_atoms> | chain:<n>:<spacing> |
+                         graphene:<n_atoms>            [default: water]
+    --xyz <FILE>         read the geometry from an XYZ file instead
+                         (charge via charge=<int> on the comment line)
+    --basis <NAME>       sto3g | 631g | 631gd | 631gdp [default: 631g]
+    --algorithm <SPEC>   serial | mpi:<ranks> | private:<R>x<T> |
+                         shared:<R>x<T>                [default: shared:2x2]
+    --tau <FLOAT>        Schwarz screening threshold   [default: 1e-10]
+    --max-iter <N>       SCF iteration cap             [default: 100]
+    --uhf <NA>,<NB>      run UHF with NA alpha / NB beta electrons
+    --mp2                add the MP2 correlation energy after RHF
+    --no-diis            disable DIIS acceleration
+    --help               print this text
+";
+
+fn parse_molecule(spec: &str) -> Result<Molecule, String> {
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    match name {
+        "water" => Ok(small::water()),
+        "methane" => Ok(small::methane()),
+        "benzene" => Ok(small::benzene()),
+        "hehp" => Ok(small::heh_cation()),
+        "h2" => {
+            let r = arg.map(|a| a.parse().map_err(|_| format!("bad bond length '{a}'")));
+            Ok(small::hydrogen_molecule(r.transpose()?.unwrap_or(1.4)))
+        }
+        "ring" => {
+            let n = arg.ok_or("ring needs an atom count, e.g. ring:8")?;
+            Ok(small::c_ring(n.parse().map_err(|_| format!("bad count '{n}'"))?, 1.40))
+        }
+        "chain" => {
+            let a = arg.ok_or("chain needs <n>:<spacing>, e.g. chain:8:1.8")?;
+            let (n, sp) = a.split_once(':').ok_or("chain needs <n>:<spacing>")?;
+            Ok(small::h_chain(
+                n.parse().map_err(|_| format!("bad count '{n}'"))?,
+                sp.parse().map_err(|_| format!("bad spacing '{sp}'"))?,
+            ))
+        }
+        "graphene" => {
+            let n = arg.ok_or("graphene needs an atom count, e.g. graphene:16")?;
+            Ok(graphene::graphene_flake(n.parse().map_err(|_| format!("bad count '{n}'"))?))
+        }
+        other => Err(format!("unknown molecule '{other}'")),
+    }
+}
+
+fn parse_basis(spec: &str) -> Result<BasisName, String> {
+    match spec {
+        "sto3g" | "sto-3g" => Ok(BasisName::Sto3g),
+        "631g" | "6-31g" => Ok(BasisName::B631g),
+        "631gd" | "6-31g(d)" | "6-31gd" => Ok(BasisName::B631gd),
+        "631gdp" | "6-31g(d,p)" | "6-31gdp" => Ok(BasisName::B631gdp),
+        other => Err(format!("unknown basis '{other}'")),
+    }
+}
+
+fn parse_algorithm(spec: &str) -> Result<FockAlgorithm, String> {
+    if spec == "serial" {
+        return Ok(FockAlgorithm::Serial);
+    }
+    let (name, cfg) = spec.split_once(':').ok_or_else(|| format!("bad algorithm '{spec}'"))?;
+    let parse_rt = |s: &str| -> Result<(usize, usize), String> {
+        let (r, t) = s.split_once('x').ok_or_else(|| format!("need <R>x<T>, got '{s}'"))?;
+        Ok((
+            r.parse().map_err(|_| format!("bad rank count '{r}'"))?,
+            t.parse().map_err(|_| format!("bad thread count '{t}'"))?,
+        ))
+    };
+    match name {
+        "mpi" => Ok(FockAlgorithm::MpiOnly {
+            n_ranks: cfg.parse().map_err(|_| format!("bad rank count '{cfg}'"))?,
+        }),
+        "private" => {
+            let (r, t) = parse_rt(cfg)?;
+            Ok(FockAlgorithm::PrivateFock { n_ranks: r, n_threads: t })
+        }
+        "shared" => {
+            let (r, t) = parse_rt(cfg)?;
+            Ok(FockAlgorithm::SharedFock { n_ranks: r, n_threads: t })
+        }
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut molecule = "water".to_string();
+    let mut xyz_path: Option<String> = None;
+    let mut basis = "631g".to_string();
+    let mut algorithm = "shared:2x2".to_string();
+    let mut tau = 1e-10f64;
+    let mut max_iter = 100usize;
+    let mut uhf: Option<(usize, usize)> = None;
+    let mut mp2 = false;
+    let mut diis = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("--{what} needs a value"));
+        match a.as_str() {
+            "--molecule" => molecule = value("molecule")?,
+            "--xyz" => xyz_path = Some(value("xyz")?),
+            "--basis" => basis = value("basis")?,
+            "--algorithm" => algorithm = value("algorithm")?,
+            "--tau" => tau = value("tau")?.parse().map_err(|e| format!("bad tau: {e}"))?,
+            "--max-iter" => {
+                max_iter = value("max-iter")?.parse().map_err(|e| format!("bad max-iter: {e}"))?
+            }
+            "--uhf" => {
+                let v = value("uhf")?;
+                let (na, nb) = v.split_once(',').ok_or("--uhf needs NA,NB")?;
+                uhf = Some((
+                    na.parse().map_err(|_| format!("bad alpha count '{na}'"))?,
+                    nb.parse().map_err(|_| format!("bad beta count '{nb}'"))?,
+                ));
+            }
+            "--mp2" => mp2 = true,
+            "--no-diis" => diis = false,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+
+    let mol = match &xyz_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            molecule = path.clone();
+            phi_scf::chem::parse_xyz(&text)?
+        }
+        None => parse_molecule(&molecule)?,
+    };
+    let basis_name = parse_basis(&basis)?;
+    let b = BasisSet::build(&mol, basis_name);
+    println!(
+        "{molecule} / {}: {} atoms, {} shells, {} basis functions, {} electrons",
+        basis_name.label(),
+        mol.n_atoms(),
+        b.n_shells(),
+        b.n_basis(),
+        mol.n_electrons()
+    );
+
+    if let Some((na, nb)) = uhf {
+        let config = UhfConfig { screening_tau: tau, max_iterations: max_iter, ..Default::default() };
+        let r = run_uhf(&mol, &b, na, nb, &config);
+        println!(
+            "UHF ({na} alpha, {nb} beta): E = {:.8} Eh  <S^2> = {:.4}  ({} iterations, converged: {})",
+            r.energy, r.s_squared, r.iterations, r.converged
+        );
+        return Ok(());
+    }
+
+    let alg = parse_algorithm(&algorithm)?;
+    let config = ScfConfig {
+        algorithm: alg,
+        screening_tau: tau,
+        max_iterations: max_iter,
+        diis,
+        ..Default::default()
+    };
+    let r = run_scf(&mol, &b, &config);
+    println!(
+        "RHF [{}]: E = {:.8} Eh  ({} iterations, converged: {})",
+        alg.label(),
+        r.energy,
+        r.iterations,
+        r.converged
+    );
+    println!(
+        "time to form Fock: {:.3} s over {} builds; peak tracked memory {} bytes",
+        r.time_to_form_fock(),
+        r.fock_stats.len(),
+        r.peak_memory()
+    );
+    if let Some(s) = r.fock_stats.first() {
+        println!(
+            "per build: {} quartets computed, {:.1}% screened, {} DLB tasks",
+            s.quartets_computed,
+            s.screened_fraction() * 100.0,
+            s.dlb_tasks
+        );
+    }
+    if mp2 {
+        if !r.converged {
+            return Err("MP2 needs a converged SCF".into());
+        }
+        let c = mp2_energy(&b, &r.orbitals, &r.orbital_energies, mol.n_occupied(), r.energy);
+        println!(
+            "MP2: E_corr = {:.8} Eh, total = {:.8} Eh",
+            c.correlation_energy, c.total_energy
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

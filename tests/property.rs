@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+use phi_scf::chem::basis::{custom_shell, BasisName, BasisSet};
+use phi_scf::integrals::boys::boys_single;
+use phi_scf::integrals::EriEngine;
+use phi_scf::linalg::{eigh, solve, Mat};
+
+// ---------------------------------------------------------------- linalg --
+
+fn symmetric_mat(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-10.0f64..10.0, n * (n + 1) / 2).prop_map(move |tri| {
+        let mut m = Mat::zeros(n, n);
+        let mut it = tri.into_iter();
+        for i in 0..n {
+            for j in 0..=i {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eigh_reconstructs_and_is_orthonormal(a in symmetric_mat(8)) {
+        let e = eigh(&a);
+        let rebuilt = e.apply(|x| x);
+        prop_assert!(rebuilt.max_abs_diff(&a) < 1e-8,
+            "reconstruction error {}", rebuilt.max_abs_diff(&a));
+        let vtv = e.vectors.matmul_tn(&e.vectors);
+        prop_assert!(vtv.max_abs_diff(&Mat::identity(8)) < 1e-9);
+        // Eigenvalue sum equals trace.
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(
+        a in symmetric_mat(6),
+        b in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // Shift the diagonal to keep the system well-conditioned.
+        let mut m = a.clone();
+        for i in 0..6 {
+            m[(i, i)] += 25.0;
+        }
+        let x = solve(&m, &b).expect("diagonally dominant");
+        let r = m.matvec(&x);
+        for i in 0..6 {
+            prop_assert!((r[i] - b[i]).abs() < 1e-8);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ boys --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn boys_recursion_identity_holds(t in 0.0f64..120.0, m in 0usize..10) {
+        // (2m+1) F_m = 2T F_{m+1} + e^{-T}
+        let fm = boys_single(m, t);
+        let fm1 = boys_single(m + 1, t);
+        let lhs = (2 * m + 1) as f64 * fm;
+        let rhs = 2.0 * t * fm1 + (-t).exp();
+        prop_assert!((lhs - rhs).abs() < 1e-11 * (1.0 + lhs.abs()),
+            "recursion broken at m={m}, T={t}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn boys_bounds(t in 0.0f64..200.0, m in 0usize..12) {
+        let f = boys_single(m, t);
+        prop_assert!(f > 0.0);
+        prop_assert!(f <= 1.0 / (2 * m + 1) as f64 + 1e-15, "F_m(T) <= F_m(0)");
+    }
+}
+
+// ------------------------------------------------------------------- eri --
+
+fn arb_shell() -> impl Strategy<Value = phi_scf::chem::Shell> {
+    (
+        0usize..3,
+        0.2f64..3.0,
+        prop::array::uniform3(-1.5f64..1.5),
+    )
+        .prop_map(|(l, alpha, center)| custom_shell(0, center, vec![alpha], &[(l, vec![1.0])]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn eri_bra_ket_symmetry(a in arb_shell(), b in arb_shell(), c in arb_shell(), d in arb_shell()) {
+        let mut engine = EriEngine::new();
+        engine.prefactor_cutoff = 0.0;
+        let (na, nb, nc, nd) =
+            (a.n_functions(), b.n_functions(), c.n_functions(), d.n_functions());
+        let mut abcd = vec![0.0; na * nb * nc * nd];
+        let mut cdab = vec![0.0; na * nb * nc * nd];
+        engine.shell_quartet(&a, &b, &c, &d, &mut abcd);
+        engine.shell_quartet(&c, &d, &a, &b, &mut cdab);
+        for ia in 0..na {
+            for ib in 0..nb {
+                for ic in 0..nc {
+                    for id in 0..nd {
+                        let v1 = abcd[((ia * nb + ib) * nc + ic) * nd + id];
+                        let v2 = cdab[((ic * nd + id) * na + ia) * nb + ib];
+                        prop_assert!((v1 - v2).abs() < 1e-10 * (1.0 + v1.abs()),
+                            "(ab|cd) != (cd|ab): {v1} vs {v2}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eri_diagonal_quartets_are_nonnegative(a in arb_shell(), b in arb_shell()) {
+        let mut engine = EriEngine::new();
+        engine.prefactor_cutoff = 0.0;
+        let (na, nb) = (a.n_functions(), b.n_functions());
+        let mut buf = vec![0.0; na * nb * na * nb];
+        engine.shell_quartet(&a, &b, &a, &b, &mut buf);
+        for ia in 0..na {
+            for ib in 0..nb {
+                let diag = buf[((ia * nb + ib) * na + ia) * nb + ib];
+                prop_assert!(diag >= -1e-12, "diagonal ({ia},{ib}) = {diag}");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ fock --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn g_build_is_linear_and_symmetric(seed in 0u64..1000) {
+        use phi_scf::hf::fock::serial::build_g_serial;
+        use phi_scf::integrals::Screening;
+
+        let mol = phi_scf::chem::geom::small::hydrogen_molecule(1.4);
+        let basis = BasisSet::build(&mol, BasisName::B631g);
+        let screening = Screening::compute(&basis);
+        let n = basis.n_basis();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut d = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        let g1 = build_g_serial(&basis, &screening, 0.0, &d).g;
+        prop_assert!(g1.is_symmetric(1e-10));
+        let mut d2 = d.clone();
+        d2.scale(2.0);
+        let g2 = build_g_serial(&basis, &screening, 0.0, &d2).g;
+        let mut g1x2 = g1.clone();
+        g1x2.scale(2.0);
+        prop_assert!(g2.max_abs_diff(&g1x2) < 1e-9, "G not linear in D");
+    }
+}
+
+// -------------------------------------------------------------- runtimes --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dynamic_worksharing_partitions_any_range(
+        n in 0usize..500,
+        threads in 1usize..6,
+        chunk in 1usize..8,
+    ) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let team = phi_scf::omp::Team::new(threads);
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        team.parallel(|ctx| {
+            ctx.for_each(n, phi_scf::omp::Schedule::Dynamic { chunk }, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {} hit wrong count", i);
+        }
+    }
+
+    #[test]
+    fn gsumf_matches_scalar_sum(values in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+        let n_ranks = values.len();
+        let values2 = values.clone();
+        let res = phi_scf::dmpi::run_world(n_ranks, move |rank| {
+            let mut v = vec![values2[rank.rank()]];
+            rank.gsumf(&mut v);
+            v[0]
+        });
+        let want: f64 = values.iter().sum();
+        for got in res.per_rank {
+            prop_assert!((got - want).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The cluster simulator must reproduce the *shapes* of the paper's
+//! results on a real (small) workload: who wins where, which crossovers
+//! exist, how the memory hierarchy behaves.
+
+use phi_scf::chem::basis::BasisName;
+use phi_scf::chem::geom::small;
+use phi_scf::knlsim::des::{simulate, SimAlgorithm, SimConfig};
+use phi_scf::knlsim::node::{ClusterMode, MemoryMode};
+use phi_scf::knlsim::scenarios::Ctx;
+
+fn ctx() -> Ctx {
+    Ctx::from_molecule(
+        "C10 ring / 6-31G(d)",
+        &small::c_ring(10, 1.40),
+        BasisName::B631gd,
+        1e-10,
+        0.0,
+        false,
+    )
+}
+
+#[test]
+fn single_node_ordering_private_beats_shared_beats_mpi() {
+    // Paper §6.1: on one node, private Fock gives the best time of the
+    // three; MPI-only is the slowest at saturation.
+    let ctx = ctx();
+    let time = |alg| {
+        let cfg = match alg {
+            SimAlgorithm::MpiOnly => SimConfig::mpi_only(1),
+            _ => SimConfig::hybrid(alg, 1),
+        };
+        simulate(&ctx.workload, &ctx.cost, &cfg).total_seconds
+    };
+    let mpi = time(SimAlgorithm::MpiOnly);
+    let prf = time(SimAlgorithm::PrivateFock);
+    let shf = time(SimAlgorithm::SharedFock);
+    assert!(prf <= shf, "private {prf} must beat shared {shf} on one node");
+    assert!(shf < mpi, "shared {shf} must beat MPI-only {mpi} on one node");
+}
+
+#[test]
+fn smt_sweet_spot_at_two_threads_per_core() {
+    // Paper §6.1: the benefit is highest for two threads per core.
+    let ctx = ctx();
+    let time = |threads_per_rank| {
+        let cfg = SimConfig {
+            threads_per_rank,
+            ..SimConfig::hybrid(SimAlgorithm::PrivateFock, 1)
+        };
+        simulate(&ctx.workload, &ctx.cost, &cfg).total_seconds
+    };
+    let t16 = time(16); // 64 threads = 1/core
+    let t32 = time(32); // 128 threads = 2/core
+    let t64 = time(64); // 256 threads = 4/core
+    let gain_2 = t16 / t32;
+    let gain_4 = t32 / t64;
+    assert!(gain_2 > 1.2, "2/core should help substantially: {gain_2}");
+    assert!(gain_4 > 1.0, "4/core should still help a bit: {gain_4}");
+    assert!(gain_2 > gain_4, "diminishing SMT returns");
+}
+
+#[test]
+fn quad_cache_is_the_best_mode_combination() {
+    // Paper §6.1 conclusion: quadrant-cache suits the hybrid codes best.
+    let ctx = ctx();
+    let quad_cache = simulate(
+        &ctx.workload,
+        &ctx.cost,
+        &SimConfig::hybrid(SimAlgorithm::SharedFock, 1),
+    )
+    .total_seconds;
+    for cluster in ClusterMode::ALL {
+        for memory in [MemoryMode::Cache, MemoryMode::FlatDdr] {
+            let cfg = SimConfig {
+                cluster_mode: cluster,
+                memory_mode: memory,
+                ..SimConfig::hybrid(SimAlgorithm::SharedFock, 1)
+            };
+            let t = simulate(&ctx.workload, &ctx.cost, &cfg).total_seconds;
+            assert!(
+                t >= quad_cache * 0.999,
+                "{}/{} ({t}) beat quad-cache ({quad_cache})",
+                cluster.label(),
+                memory.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_footprint_hierarchy_in_the_model() {
+    let ctx = ctx();
+    let fp = |alg| {
+        let cfg = match alg {
+            SimAlgorithm::MpiOnly => SimConfig::mpi_only(1),
+            _ => SimConfig::hybrid(alg, 1),
+        };
+        simulate(&ctx.workload, &ctx.cost, &cfg).footprint_gb
+    };
+    let mpi = fp(SimAlgorithm::MpiOnly);
+    let prf = fp(SimAlgorithm::PrivateFock);
+    let shf = fp(SimAlgorithm::SharedFock);
+    assert!(mpi > prf, "MPI {mpi} vs private {prf}");
+    assert!(prf > shf, "private {prf} vs shared {shf}");
+}
+
+#[test]
+fn shared_fock_keeps_the_best_load_balance_at_scale() {
+    let ctx = ctx();
+    let nodes = 32;
+    let busy = |alg| {
+        let cfg = match alg {
+            SimAlgorithm::MpiOnly => SimConfig { ranks_per_node: 64, ..SimConfig::mpi_only(nodes) },
+            _ => SimConfig::hybrid(alg, nodes),
+        };
+        simulate(&ctx.workload, &ctx.cost, &cfg).busy_fraction
+    };
+    let shf = busy(SimAlgorithm::SharedFock);
+    let prf = busy(SimAlgorithm::PrivateFock);
+    assert!(shf > prf, "shared Fock busy {shf} vs private {prf}");
+}
+
+#[test]
+fn efficiency_declines_monotonically_for_private_fock() {
+    // Adding nodes cannot *increase* Algorithm 2's efficiency once its
+    // task pool is exhausted.
+    let ctx = ctx();
+    let time = |nodes| {
+        simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes))
+            .total_seconds
+    };
+    let t: Vec<f64> = [1usize, 4, 16, 64].iter().map(|&n| time(n)).collect();
+    let eff: Vec<f64> = [1usize, 4, 16, 64]
+        .iter()
+        .zip(&t)
+        .map(|(&n, &s)| t[0] / (s * n as f64))
+        .collect();
+    for w in eff.windows(2) {
+        assert!(w[1] <= w[0] * 1.05, "efficiency must not grow with nodes: {eff:?}");
+    }
+}
