@@ -1,22 +1,15 @@
 //! Microbench: Boys function across its two evaluation regimes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_bench::microbench::{black_box, Runner};
 use phi_integrals::boys::boys;
 
-fn bench_boys(c: &mut Criterion) {
-    let mut g = c.benchmark_group("boys");
-    g.sample_size(30);
+fn main() {
+    let mut r = Runner::new("boys");
     for &t in &[0.1, 5.0, 25.0, 50.0] {
-        g.bench_function(format!("F0..F8(T={t})"), |b| {
-            let mut out = [0.0; 9];
-            b.iter(|| {
-                boys(black_box(t), &mut out);
-                black_box(out[8])
-            })
+        let mut out = [0.0; 9];
+        r.bench(&format!("F0..F8(T={t})"), || {
+            boys(black_box(t), &mut out);
+            black_box(out[8]);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_boys);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Microbench: symmetric eigensolver (the Fock diagonalization step).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_bench::microbench::{black_box, Runner};
 use phi_linalg::{eigh, Mat};
 
 fn random_symmetric(n: usize) -> Mat {
@@ -20,17 +20,12 @@ fn random_symmetric(n: usize) -> Mat {
     a
 }
 
-fn bench_eigh(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eigh");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("eigh");
     for n in [50usize, 100, 200] {
         let a = random_symmetric(n);
-        g.bench_function(format!("eigh_{n}"), |b| {
-            b.iter(|| black_box(eigh(black_box(&a)).values[0]))
+        r.bench(&format!("eigh_{n}"), || {
+            black_box(eigh(black_box(&a)).values[0]);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_eigh);
-criterion_main!(benches);

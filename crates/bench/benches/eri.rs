@@ -3,43 +3,88 @@
 //! These per-class costs are exactly what `phi-knlsim::calibrate` feeds the
 //! cluster simulator, so this bench doubles as a visibility check on the
 //! calibration inputs.
+//!
+//! Each class is measured twice: through the compat wrapper that rebuilds
+//! pair data (E-tables, product centers, prefactors) on every call, and
+//! through the persistent [`ShellPairs`] dataset, which is what every Fock
+//! build uses in production. Pass `--json <path>` to also write the results
+//! (with per-class speedups) to a file, e.g. `BENCH_pr1.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_bench::microbench::{black_box, Runner};
 use phi_chem::basis::{BasisName, BasisSet};
 use phi_chem::geom::small;
-use phi_integrals::EriEngine;
+use phi_integrals::{EriEngine, ShellPairs};
 
-fn bench_eri(c: &mut Criterion) {
-    let basis = BasisSet::build(&small::c_ring(6, 1.39), BasisName::B631gd);
-    // Carbon 6-31G(d) shell order per atom: S6, L3, L1, D1.
-    let s6 = &basis.shells[0];
-    let l3 = &basis.shells[1];
-    let d1 = &basis.shells[3];
-    let s6b = &basis.shells[4];
-    let l3b = &basis.shells[5];
-    let d1b = &basis.shells[7];
-
-    let mut g = c.benchmark_group("eri_quartet");
-    g.sample_size(40);
-    let cases = [
-        ("(S6 S6|S6 S6) heaviest contraction", s6, s6b, s6, s6b),
-        ("(L3 L3|L3 L3) sp shells", l3, l3b, l3, l3b),
-        ("(D1 D1|D1 D1) highest angular momentum", d1, d1b, d1, d1b),
-        ("(S6 L3|L1 D1) mixed", s6, l3, &basis.shells[2], d1b),
-    ];
-    for (name, a, b, cc, d) in cases {
-        let len = a.n_functions() * b.n_functions() * cc.n_functions() * d.n_functions();
-        let mut buf = vec![0.0; len];
-        let mut engine = EriEngine::new();
-        g.bench_function(name, |bencher| {
-            bencher.iter(|| {
-                engine.shell_quartet(black_box(a), b, cc, d, &mut buf);
-                black_box(buf[0])
-            })
-        });
+fn json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(std::path::PathBuf::from(
+                args.next().unwrap_or_else(|| "bench_eri.json".into()),
+            ));
+        }
     }
-    g.finish();
+    None
 }
 
-criterion_group!(benches, bench_eri);
-criterion_main!(benches);
+fn main() {
+    let basis = BasisSet::build(&small::c_ring(6, 1.39), BasisName::B631gd);
+    let pairs = ShellPairs::build(&basis);
+    // Carbon 6-31G(d) shell order per atom: S6, L3, L1, D1.
+    // Indices (shell_a, shell_b) picked on different atoms so E-tables are
+    // nontrivial; ShellPairs stores i >= j so order bra/ket accordingly.
+    let cases: [(&str, usize, usize, usize, usize); 4] = [
+        ("(S6 S6|S6 S6) heaviest contraction", 4, 0, 4, 0),
+        ("(L3 L3|L3 L3) sp shells", 5, 1, 5, 1),
+        ("(D1 D1|D1 D1) highest angular momentum", 7, 3, 7, 3),
+        ("(S6 L3|L1 D1) mixed", 4, 1, 7, 2),
+    ];
+
+    let mut r = Runner::new("eri_quartet");
+    let mut rows = Vec::new();
+    for (name, a, b, c, d) in cases {
+        let (sa, sb, sc, sd) =
+            (&basis.shells[a], &basis.shells[b], &basis.shells[c], &basis.shells[d]);
+        let len = sa.n_functions() * sb.n_functions() * sc.n_functions() * sd.n_functions();
+        let mut buf = vec![0.0; len];
+        let mut engine = EriEngine::new();
+
+        let uncached = r
+            .bench(&format!("{name} / rebuild-pairs"), || {
+                engine.shell_quartet(black_box(sa), sb, sc, sd, &mut buf);
+                black_box(buf[0]);
+            })
+            .ns_per_iter;
+
+        let bra = pairs.pair(a, b);
+        let ket = pairs.pair(c, d);
+        let cached = r
+            .bench(&format!("{name} / cached-pairs"), || {
+                engine.shell_quartet_pairs(black_box(bra), ket, &mut buf);
+                black_box(buf[0]);
+            })
+            .ns_per_iter;
+
+        println!("  -> speedup {:.2}x", uncached / cached);
+        rows.push((name, uncached, cached));
+    }
+
+    if let Some(path) = json_path() {
+        let mut out = String::from("{\n  \"bench\": \"eri_quartet_pair_cache_ablation\",\n");
+        out.push_str("  \"system\": \"C6 ring, 6-31G(d)\",\n  \"unit\": \"ns_per_quartet\",\n");
+        out.push_str("  \"cases\": [\n");
+        for (k, (name, unc, cac)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"class\": \"{}\", \"rebuild_pairs\": {:.1}, \"cached_pairs\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                name,
+                unc,
+                cac,
+                unc / cac,
+                if k + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("[json] wrote {}", path.display());
+    }
+}

@@ -3,48 +3,38 @@
 //! measure orchestration overhead over the serial baseline; the cluster
 //! behaviour comes from phi-knlsim.)
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hf::fock::{mpi_only, private_fock, serial, shared_fock};
+use phi_bench::microbench::{black_box, Runner};
 use phi_chem::basis::{BasisName, BasisSet};
 use phi_chem::geom::small;
-use phi_integrals::Screening;
+use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 
-fn bench_fock(c: &mut Criterion) {
+fn main() {
     let mol = small::water();
     let basis = BasisSet::build(&mol, BasisName::B631g);
-    let screening = Screening::compute(&basis);
+    let pairs = ShellPairs::build(&basis);
+    let screening = Screening::from_pairs(&basis, &pairs);
     let n = basis.n_basis();
     let d = Mat::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.05 });
 
-    let mut g = c.benchmark_group("fock_build_water_631g");
-    g.sample_size(10);
-    g.bench_function("serial", |b| {
-        b.iter(|| black_box(serial::build_g_serial(&basis, &screening, 1e-10, &d).g.trace()))
+    let mut r = Runner::new("fock_build_water_631g");
+    r.bench("serial", || {
+        black_box(serial::build_g_serial(&basis, &pairs, &screening, 1e-10, &d).g.trace());
     });
-    g.bench_function("mpi_only_2ranks", |b| {
-        b.iter(|| {
-            black_box(mpi_only::build_g_mpi_only(&basis, &screening, 1e-10, &d, 2).g.trace())
-        })
+    r.bench("mpi_only_2ranks", || {
+        black_box(mpi_only::build_g_mpi_only(&basis, &pairs, &screening, 1e-10, &d, 2).g.trace());
     });
-    g.bench_function("private_fock_1x2", |b| {
-        b.iter(|| {
-            black_box(
-                private_fock::build_g_private_fock(&basis, &screening, 1e-10, &d, 1, 2)
-                    .g
-                    .trace(),
-            )
-        })
+    r.bench("private_fock_1x2", || {
+        black_box(
+            private_fock::build_g_private_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 2)
+                .g
+                .trace(),
+        );
     });
-    g.bench_function("shared_fock_1x2", |b| {
-        b.iter(|| {
-            black_box(
-                shared_fock::build_g_shared_fock(&basis, &screening, 1e-10, &d, 1, 2).g.trace(),
-            )
-        })
+    r.bench("shared_fock_1x2", || {
+        black_box(
+            shared_fock::build_g_shared_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 2).g.trace(),
+        );
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fock);
-criterion_main!(benches);

@@ -1,21 +1,20 @@
 //! Ablation bench for the paper's Figure 1 data structure: padded-column
 //! buffers with chunked parallel tree reduction vs a naive serial flush.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_bench::microbench::{black_box, Runner};
 use phi_omp::{PaddedColumns, SharedAccumulator, Team};
 
-fn bench_reduction(c: &mut Criterion) {
+fn main() {
     let len = 64 * 1024;
     let cols = 4;
 
-    let mut g = c.benchmark_group("figure1_reduction");
-    g.sample_size(20);
+    let mut r = Runner::new("figure1_reduction");
 
-    g.bench_function("parallel_chunked_tree_flush", |b| {
+    {
         let p = PaddedColumns::new(len, cols);
         let dst = SharedAccumulator::new(len);
         let team = Team::new(cols);
-        b.iter(|| {
+        r.bench("parallel_chunked_tree_flush", || {
             team.parallel(|ctx| {
                 let col = p.col_mut(ctx.thread_num());
                 for v in col.iter_mut() {
@@ -23,26 +22,21 @@ fn bench_reduction(c: &mut Criterion) {
                 }
                 p.flush_into(ctx, &dst, 0);
             });
-            black_box(dst.load(0))
-        })
-    });
+            black_box(dst.load(0));
+        });
+    }
 
-    g.bench_function("serial_flush_baseline", |b| {
+    {
         let p = PaddedColumns::new(len, cols);
         let mut dst = vec![0.0; len];
-        b.iter(|| {
+        r.bench("serial_flush_baseline", || {
             for col in 0..cols {
                 for v in p.col_mut(col).iter_mut() {
                     *v = 1.0;
                 }
             }
             p.flush_serial(&mut dst, 0);
-            black_box(dst[0])
-        })
-    });
-
-    g.finish();
+            black_box(dst[0]);
+        });
+    }
 }
-
-criterion_group!(benches, bench_reduction);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
 //! Microbench: Schwarz bound computation and workload statistics (the
 //! sorted-count machinery that makes the 5 nm system tractable).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phi_bench::microbench::{black_box, Runner};
 use phi_chem::basis::{BasisName, BasisSet};
 use phi_chem::geom::small;
 use phi_integrals::screening::WorkloadStats;
 use phi_integrals::Screening;
 
-fn bench_screening(c: &mut Criterion) {
+fn main() {
     let mol = small::h_chain(40, 2.5);
     let basis = BasisSet::build(&mol, BasisName::Sto3g);
 
-    let mut g = c.benchmark_group("screening");
-    g.sample_size(10);
-    g.bench_function("schwarz_bounds_h40", |b| {
-        b.iter(|| black_box(Screening::compute(black_box(&basis)).q_max()))
+    let mut r = Runner::new("screening");
+    r.bench("schwarz_bounds_h40", || {
+        black_box(Screening::compute(black_box(&basis)).q_max());
     });
     let s = Screening::compute(&basis);
-    g.bench_function("workload_stats_h40", |b| {
-        b.iter(|| {
-            let w = WorkloadStats::compute(black_box(&basis), &s, 1e-10);
-            black_box(w.surviving_quartets())
-        })
+    r.bench("workload_stats_h40", || {
+        let w = WorkloadStats::compute(black_box(&basis), &s, 1e-10);
+        black_box(w.surviving_quartets());
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_screening);
-criterion_main!(benches);

@@ -21,7 +21,9 @@ fn main() {
             let out = Command::new(table2).output().expect("run table2");
             print!("{}", String::from_utf8_lossy(&out.stdout));
         }
-        None => eprintln!("[skip] table2 binary not built alongside; run `cargo run -p phi-bench --bin table2`"),
+        None => eprintln!(
+            "[skip] table2 binary not built alongside; run `cargo run -p phi-bench --bin table2`"
+        ),
     }
 
     // Single-node studies on the 1.0 nm dataset.

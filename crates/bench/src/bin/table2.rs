@@ -64,7 +64,9 @@ fn main() {
         ]);
     }
     t2.note("model: 256 ranks/node (MPI) vs 4 ranks x 64 threads (hybrids), eqs. (3a)-(3c)");
-    t2.note("paper's measured MPI/ShF reduction: ~200x (incl. GAMESS structures beyond the equations)");
+    t2.note(
+        "paper's measured MPI/ShF reduction: ~200x (incl. GAMESS structures beyond the equations)",
+    );
     println!("{t2}");
 
     // ------------------------------------------------ measured (live) ----
@@ -72,7 +74,8 @@ fn main() {
     // parallelism, tracked allocations from the actual builds.
     let mol = small::water();
     let basis = BasisSet::build(&mol, BasisName::B631g);
-    let screening = Screening::compute(&basis);
+    let pairs = phi_integrals::ShellPairs::build(&basis);
+    let screening = Screening::from_pairs(&basis, &pairs);
     let n = basis.n_basis();
     let d = Mat::identity(n);
     let cores = 8;
@@ -89,16 +92,16 @@ fn main() {
     for (label, alg) in configs {
         let gb = match alg {
             FockAlgorithm::MpiOnly { n_ranks } => {
-                hf::fock::mpi_only::build_g_mpi_only(&basis, &screening, 1e-10, &d, n_ranks)
+                hf::fock::mpi_only::build_g_mpi_only(&basis, &pairs, &screening, 1e-10, &d, n_ranks)
             }
             FockAlgorithm::PrivateFock { n_ranks, n_threads } => {
                 hf::fock::private_fock::build_g_private_fock(
-                    &basis, &screening, 1e-10, &d, n_ranks, n_threads,
+                    &basis, &pairs, &screening, 1e-10, &d, n_ranks, n_threads,
                 )
             }
             FockAlgorithm::SharedFock { n_ranks, n_threads } => {
                 hf::fock::shared_fock::build_g_shared_fock(
-                    &basis, &screening, 1e-10, &d, n_ranks, n_threads,
+                    &basis, &pairs, &screening, 1e-10, &d, n_ranks, n_threads,
                 )
             }
             FockAlgorithm::Serial => unreachable!(),

@@ -20,6 +20,8 @@
 //! for the paper's graphene datasets (CI-friendly smoke mode); without it
 //! the real datasets are generated and screened exactly.
 
+pub mod microbench;
+
 use phi_chem::basis::BasisName;
 use phi_chem::geom::graphene::PaperSystem;
 use phi_chem::geom::small;
@@ -76,7 +78,10 @@ pub fn context(system: PaperSystem, quick: bool) -> Ctx {
             false,
         )
     } else {
-        eprintln!("[setup] generating {} workload (geometry, Schwarz bounds, statistics)...", system.label());
+        eprintln!(
+            "[setup] generating {} workload (geometry, Schwarz bounds, statistics)...",
+            system.label()
+        );
         let ctx = Ctx::paper(system, true);
         eprintln!(
             "[setup] {}: {} shells, {} pairs, {} surviving tasks, {:.2e} surviving quartets",

@@ -1,0 +1,117 @@
+//! Minimal self-contained microbenchmark harness.
+//!
+//! The workspace builds with no external dependencies (so it compiles and
+//! tests offline); this module stands in for Criterion in the `benches/`
+//! binaries. Protocol: warm up, grow the iteration count until one timing
+//! window is long enough to trust, then report the best of several windows
+//! (minimum wall time per iteration is the standard low-noise estimator for
+//! microbenchmarks).
+//!
+//! Benches run with `cargo bench` (each `[[bench]]` is `harness = false`)
+//! and print one line per case: `<name>: <ns>/iter (<iters> iters)`.
+//! [`Runner::to_json`] serializes results for files like `BENCH_pr1.json`.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum measurement window per timing sample.
+const WINDOW_S: f64 = 0.05;
+/// Number of measured windows; the fastest is reported.
+const SAMPLES: usize = 3;
+
+/// One benchmark result.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    pub name: String,
+    /// Best-of-windows nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per window used for measurement.
+    pub iters: u64,
+}
+
+/// Collects samples of one benchmark group and prints them as they finish.
+pub struct Runner {
+    group: String,
+    pub samples: Vec<Sample>,
+}
+
+impl Runner {
+    pub fn new(group: &str) -> Runner {
+        println!("# group: {group}");
+        Runner { group: group.to_string(), samples: Vec::new() }
+    }
+
+    /// Time `f` and record the result under `name`.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &Sample {
+        // Warm-up and iteration-count calibration: double until one window
+        // is at least WINDOW_S long.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = start.elapsed().as_secs_f64();
+            if dt >= WINDOW_S {
+                break;
+            }
+            // Aim directly for the window once a measurable time exists.
+            iters = if dt > 1e-4 {
+                ((iters as f64 * WINDOW_S / dt).ceil() as u64).max(iters + 1)
+            } else {
+                iters * 10
+            };
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        let sample = Sample { name: name.to_string(), ns_per_iter: best, iters };
+        println!("{}/{}: {:.1} ns/iter ({} iters)", self.group, name, best, iters);
+        self.samples.push(sample);
+        self.samples.last().expect("just pushed")
+    }
+
+    /// Serialize the group's samples as a JSON object (no external crates,
+    /// so the encoding is hand-rolled for this flat shape).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n  \"results\": [\n", self.group));
+        for (k, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}}}{}\n",
+                s.name.replace('"', "'"),
+                s.ns_per_iter,
+                s.iters,
+                if k + 1 == self.samples.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_plausible() {
+        let mut r = Runner::new("selftest");
+        let s = r.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc);
+        });
+        assert!(s.ns_per_iter > 0.0 && s.ns_per_iter < 1e7);
+        let json = r.to_json();
+        assert!(json.contains("\"group\": \"selftest\""));
+        assert!(json.contains("\"name\": \"spin\""));
+    }
+}

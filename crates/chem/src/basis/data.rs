@@ -94,7 +94,14 @@ const B631G_C: &[ShellData] = &[
         exps: &[3047.524880, 457.3695180, 103.9486850, 29.21015530, 9.286662960, 3.163926960],
         blocks: &[(
             0,
-            &[0.001834737132, 0.01403732281, 0.06884262226, 0.2321844432, 0.4679413484, 0.3623119853],
+            &[
+                0.001834737132,
+                0.01403732281,
+                0.06884262226,
+                0.2321844432,
+                0.4679413484,
+                0.3623119853,
+            ],
         )],
     },
     ShellData {
@@ -104,10 +111,7 @@ const B631G_C: &[ShellData] = &[
             (1, &[0.06899906659, 0.3164239610, 0.7443082909]),
         ],
     },
-    ShellData {
-        exps: &[0.1687144782],
-        blocks: &[(0, &[1.0]), (1, &[1.0])],
-    },
+    ShellData { exps: &[0.1687144782], blocks: &[(0, &[1.0]), (1, &[1.0])] },
 ];
 
 const B631G_N: &[ShellData] = &[
@@ -115,7 +119,14 @@ const B631G_N: &[ShellData] = &[
         exps: &[4173.511460, 627.4579110, 142.9020930, 40.23432930, 13.03269600, 4.603090990],
         blocks: &[(
             0,
-            &[0.001834772160, 0.01399462700, 0.06858655181, 0.2322408730, 0.4690699481, 0.3604551991],
+            &[
+                0.001834772160,
+                0.01399462700,
+                0.06858655181,
+                0.2322408730,
+                0.4690699481,
+                0.3604551991,
+            ],
         )],
     },
     ShellData {
@@ -125,10 +136,7 @@ const B631G_N: &[ShellData] = &[
             (1, &[0.06757974388, 0.3239072959, 0.7408951398]),
         ],
     },
-    ShellData {
-        exps: &[0.2120314975],
-        blocks: &[(0, &[1.0]), (1, &[1.0])],
-    },
+    ShellData { exps: &[0.2120314975], blocks: &[(0, &[1.0]), (1, &[1.0])] },
 ];
 
 const B631G_O: &[ShellData] = &[
@@ -136,7 +144,14 @@ const B631G_O: &[ShellData] = &[
         exps: &[5484.671660, 825.2349460, 188.0469580, 52.96450000, 16.89757040, 5.799635340],
         blocks: &[(
             0,
-            &[0.001831074430, 0.01395017220, 0.06844507810, 0.2327143360, 0.4701928980, 0.3585208530],
+            &[
+                0.001831074430,
+                0.01395017220,
+                0.06844507810,
+                0.2327143360,
+                0.4701928980,
+                0.3585208530,
+            ],
         )],
     },
     ShellData {
@@ -146,10 +161,7 @@ const B631G_O: &[ShellData] = &[
             (1, &[0.07087426823, 0.3397528391, 0.7271585773]),
         ],
     },
-    ShellData {
-        exps: &[0.2700058226],
-        blocks: &[(0, &[1.0]), (1, &[1.0])],
-    },
+    ShellData { exps: &[0.2700058226], blocks: &[(0, &[1.0]), (1, &[1.0])] },
 ];
 
 // Polarization shells; standard exponents (d = 0.8 on C/N/O, p = 1.1 on H).
@@ -218,9 +230,7 @@ mod tests {
 
     #[test]
     fn every_table_has_consistent_lengths() {
-        for basis in
-            [BasisName::Sto3g, BasisName::B631g, BasisName::B631gd, BasisName::B631gdp]
-        {
+        for basis in [BasisName::Sto3g, BasisName::B631g, BasisName::B631gd, BasisName::B631gdp] {
             for el in [Element::H, Element::He, Element::C, Element::N, Element::O] {
                 let shells = shells_for(el, basis).unwrap();
                 for sh in shells {

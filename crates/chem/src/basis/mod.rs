@@ -305,10 +305,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no STO-3G data")]
     fn missing_element_data_panics_with_context() {
-        let m = crate::Molecule::neutral(vec![crate::Atom {
-            element: Element::Ne,
-            pos: [0.0; 3],
-        }]);
+        let m = crate::Molecule::neutral(vec![crate::Atom { element: Element::Ne, pos: [0.0; 3] }]);
         let _ = BasisSet::build(&m, BasisName::Sto3g);
     }
 

@@ -38,8 +38,13 @@ pub enum PaperSystem {
 }
 
 impl PaperSystem {
-    pub const ALL: [PaperSystem; 5] =
-        [PaperSystem::Nm05, PaperSystem::Nm10, PaperSystem::Nm15, PaperSystem::Nm20, PaperSystem::Nm50];
+    pub const ALL: [PaperSystem; 5] = [
+        PaperSystem::Nm05,
+        PaperSystem::Nm10,
+        PaperSystem::Nm15,
+        PaperSystem::Nm20,
+        PaperSystem::Nm50,
+    ];
 
     /// Dataset label as printed in the paper.
     pub fn label(self) -> &'static str {
@@ -127,11 +132,7 @@ fn flake_sites(n: usize, z: f64, shifted: bool) -> Vec<Atom> {
             }
         }
     }
-    assert!(
-        sites.len() >= n,
-        "candidate lattice too small: {} sites for n = {n}",
-        sites.len()
-    );
+    assert!(sites.len() >= n, "candidate lattice too small: {} sites for n = {n}", sites.len());
     // Deterministic: sort by distance from origin, tie-break on coordinates.
     sites.sort_by(|p, q| {
         let rp = p[0] * p[0] + p[1] * p[1];
@@ -142,10 +143,7 @@ fn flake_sites(n: usize, z: f64, shifted: bool) -> Vec<Atom> {
             .then(p[1].partial_cmp(&q[1]).unwrap())
     });
     sites.truncate(n);
-    sites
-        .into_iter()
-        .map(|p| Atom { element: Element::C, pos: [p[0], p[1], z] })
-        .collect()
+    sites.into_iter().map(|p| Atom { element: Element::C, pos: [p[0], p[1], z] }).collect()
 }
 
 #[cfg(test)]

@@ -36,8 +36,8 @@ pub fn parse_xyz(text: &str) -> Result<Molecule, String> {
         }
         let mut parts = line.split_whitespace();
         let sym = parts.next().ok_or(format!("line {}: missing symbol", k + 3))?;
-        let element = Element::from_symbol(sym)
-            .ok_or(format!("line {}: unknown element '{sym}'", k + 3))?;
+        let element =
+            Element::from_symbol(sym).ok_or(format!("line {}: unknown element '{sym}'", k + 3))?;
         let mut coord = [0.0; 3];
         for c in &mut coord {
             *c = parts

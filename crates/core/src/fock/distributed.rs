@@ -20,7 +20,7 @@ use super::{digest_quartet, kl_bounds, pair_decode, tri_to_full, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::DistributedArray;
-use phi_integrals::{EriEngine, Screening};
+use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,6 +49,7 @@ impl FockSink for ScatterSink {
 /// to other ranks' rows travel as `acc` batches.
 pub fn build_g_distributed(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
@@ -70,6 +71,7 @@ pub fn build_g_distributed(
         // (5/2 N^2 -> ~2 N^2 words) — the distributed-data SCF trade.
         let fock_bytes = n * n * std::mem::size_of::<f64>();
         rank.charge_bytes(fock_bytes / rank.size() + fock_bytes);
+        rank.charge_bytes(pairs.bytes());
 
         let mut engine = EriEngine::new();
         let mut eri_buf: Vec<f64> = Vec::new();
@@ -92,13 +94,10 @@ pub fn build_g_distributed(
                         screened += 1;
                         continue;
                     }
-                    let (a, b, c, e) =
-                        (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
-                    let len =
-                        a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
                     eri_buf.clear();
-                    eri_buf.resize(len, 0.0);
-                    engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                     digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
                     computed += 1;
                 }
@@ -113,6 +112,7 @@ pub fn build_g_distributed(
         // Everyone must finish accumulating before anyone reads.
         rank.barrier();
         rank.release_bytes(fock_bytes / rank.size() + fock_bytes);
+        rank.release_bytes(pairs.bytes());
 
         (
             FockBuildStats {
@@ -177,14 +177,20 @@ mod tests {
         })
     }
 
+    fn pairs_and_screening(b: &BasisSet) -> (phi_integrals::ShellPairs, Screening) {
+        let pairs = phi_integrals::ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        (pairs, s)
+    }
+
     #[test]
     fn matches_serial_for_various_rank_counts() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let want = build_g_serial(&b, &s, 1e-12, &d).g;
+        let want = build_g_serial(&b, &pairs, &s, 1e-12, &d).g;
         for n_ranks in [1, 2, 4] {
-            let got = build_g_distributed(&b, &s, 1e-12, &d, n_ranks);
+            let got = build_g_distributed(&b, &pairs, &s, 1e-12, &d, n_ranks);
             assert!(
                 got.g.max_abs_diff(&want) < 1e-10,
                 "{n_ranks} ranks: diff {}",
@@ -196,10 +202,10 @@ mod tests {
     #[test]
     fn matches_serial_on_sparse_systems() {
         let b = BasisSet::build(&small::h_chain(8, 5.0), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let want = build_g_serial(&b, &s, 1e-10, &d).g;
-        let got = build_g_distributed(&b, &s, 1e-10, &d, 3);
+        let want = build_g_serial(&b, &pairs, &s, 1e-10, &d).g;
+        let got = build_g_distributed(&b, &pairs, &s, 1e-10, &d, 3);
         assert!(got.g.max_abs_diff(&want) < 1e-10);
     }
 
@@ -208,11 +214,11 @@ mod tests {
         // Versus Algorithm 1 at the same rank count, the tracked footprint
         // must be smaller: the Fock matrix is striped, not copied.
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
         let ranks = 4;
-        let replicated = build_g_mpi_only(&b, &s, 1e-12, &d, ranks);
-        let distributed = build_g_distributed(&b, &s, 1e-12, &d, ranks);
+        let replicated = build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, ranks);
+        let distributed = build_g_distributed(&b, &pairs, &s, 1e-12, &d, ranks);
         assert!(
             distributed.stats.memory_total_peak < replicated.stats.memory_total_peak,
             "distributed {} vs replicated {}",

@@ -27,7 +27,7 @@ pub mod serial;
 pub mod shared_fock;
 
 use phi_chem::BasisSet;
-use phi_integrals::Screening;
+use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 
 /// Which Fock-build parallelization to use.
@@ -182,7 +182,15 @@ pub fn digest_value_scaled(
 
 /// Apply the updates of one unique integral value over its ordered orbit.
 #[inline]
-pub fn digest_value(mu: usize, nu: usize, lam: usize, sig: usize, x: f64, d: &Mat, sink: &mut impl FockSink) {
+pub fn digest_value(
+    mu: usize,
+    nu: usize,
+    lam: usize,
+    sig: usize,
+    x: f64,
+    d: &Mat,
+    sink: &mut impl FockSink,
+) {
     // The eight ordered representatives of the orbit.
     let orbit = [
         (mu, nu, lam, sig),
@@ -273,8 +281,12 @@ pub fn brute_force_g(basis: &BasisSet, d: &Mat) -> Mat {
         for sj in 0..ns {
             for sk in 0..ns {
                 for sl in 0..ns {
-                    let (a, b, c, e) =
-                        (&basis.shells[si], &basis.shells[sj], &basis.shells[sk], &basis.shells[sl]);
+                    let (a, b, c, e) = (
+                        &basis.shells[si],
+                        &basis.shells[sj],
+                        &basis.shells[sk],
+                        &basis.shells[sl],
+                    );
                     buf.clear();
                     buf.resize(
                         a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions(),
@@ -289,8 +301,12 @@ pub fn brute_force_g(basis: &BasisSet, d: &Mat) -> Mat {
                                         + ic)
                                         * e.n_functions()
                                         + id];
-                                    let (mu, nu, lam, sig) =
-                                        (a.first_bf + ia, b.first_bf + ib, c.first_bf + ic, e.first_bf + id);
+                                    let (mu, nu, lam, sig) = (
+                                        a.first_bf + ia,
+                                        b.first_bf + ib,
+                                        c.first_bf + ic,
+                                        e.first_bf + id,
+                                    );
                                     // J
                                     g[(mu, nu)] += d[(lam, sig)] * x;
                                     // K with the RHF -1/2 factor.
@@ -325,11 +341,12 @@ impl QuartetWorker {
     }
 
     /// Evaluate and digest quartet `(si sj | sk sl)` if it survives
-    /// screening. Returns true if computed.
+    /// screening, using the shared pair dataset. Returns true if computed.
     #[allow(clippy::too_many_arguments)]
     pub fn process(
         &mut self,
         basis: &BasisSet,
+        pairs: &ShellPairs,
         screening: &Screening,
         tau: f64,
         si: usize,
@@ -342,12 +359,10 @@ impl QuartetWorker {
         if !screening.survives(si, sj, sk, sl, tau) {
             return false;
         }
-        let (a, b, c, e) =
-            (&basis.shells[si], &basis.shells[sj], &basis.shells[sk], &basis.shells[sl]);
-        let len = a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+        let (bra, ket) = (pairs.pair(si, sj), pairs.pair(sk, sl));
         self.buf.clear();
-        self.buf.resize(len, 0.0);
-        self.engine.shell_quartet(a, b, c, e, &mut self.buf);
+        self.buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+        self.engine.shell_quartet_pairs(bra, ket, &mut self.buf);
         digest_quartet(basis, si, sj, sk, sl, &self.buf, d, sink);
         true
     }
@@ -383,7 +398,9 @@ mod tests {
             let n = b.n_basis();
             let d = test_density(n);
             let want = brute_force_g(&b, &d);
-            let got = serial::build_g_serial(&b, &Screening::compute(&b), 0.0, &d).g;
+            let pairs = ShellPairs::build(&b);
+            let s = Screening::from_pairs(&b, &pairs);
+            let got = serial::build_g_serial(&b, &pairs, &s, 0.0, &d).g;
             assert!(
                 got.max_abs_diff(&want) < 1e-10,
                 "{:?}: digestion differs from brute force by {}",
@@ -399,7 +416,9 @@ mod tests {
         let n = b.n_basis();
         let d = test_density(n);
         let want = brute_force_g(&b, &d);
-        let got = serial::build_g_serial(&b, &Screening::compute(&b), 0.0, &d).g;
+        let pairs = ShellPairs::build(&b);
+        let s = Screening::from_pairs(&b, &pairs);
+        let got = serial::build_g_serial(&b, &pairs, &s, 0.0, &d).g;
         assert!(got.max_abs_diff(&want) < 1e-9, "differs by {}", got.max_abs_diff(&want));
     }
 
@@ -408,13 +427,14 @@ mod tests {
         let b = BasisSet::build(&small::h_chain(6, 2.5), BasisName::Sto3g);
         let n = b.n_basis();
         let d = test_density(n);
-        let s = Screening::compute(&b);
-        let exact = serial::build_g_serial(&b, &s, 0.0, &d).g;
-        let screened = serial::build_g_serial(&b, &s, 1e-9, &d).g;
+        let pairs = ShellPairs::build(&b);
+        let s = Screening::from_pairs(&b, &pairs);
+        let exact = serial::build_g_serial(&b, &pairs, &s, 0.0, &d).g;
+        let screened = serial::build_g_serial(&b, &pairs, &s, 1e-9, &d).g;
         // Dropped quartets are bounded by tau * |D| * multiplicity; stay
         // well under a conservative bound.
         assert!(exact.max_abs_diff(&screened) < 1e-6);
-        let coarse = serial::build_g_serial(&b, &s, 1e-3, &d).g;
+        let coarse = serial::build_g_serial(&b, &pairs, &s, 1e-3, &d).g;
         assert!(exact.max_abs_diff(&coarse) > exact.max_abs_diff(&screened));
     }
 

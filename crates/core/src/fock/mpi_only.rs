@@ -14,7 +14,7 @@ use super::serial::GBuild;
 use super::{digest_quartet, kl_bounds, pair_decode, tri_to_full, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_integrals::{EriEngine, Screening};
+use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -28,6 +28,7 @@ fn replicated_readonly_bytes(n: usize) -> usize {
 /// Build `G(D)` with Algorithm 1 over `n_ranks` ranks.
 pub fn build_g_mpi_only(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
@@ -44,6 +45,9 @@ pub fn build_g_mpi_only(
         let mut d_local = rank.alloc_f64(n * n);
         d_local.copy_from_slice(d.as_slice());
         rank.charge_bytes(replicated_readonly_bytes(n));
+        // The shell-pair dataset: one read-only copy per MPI process (in a
+        // real multi-process run each rank materializes its own).
+        rank.charge_bytes(pairs.bytes());
         let mut fock = rank.alloc_f64(n * n);
 
         let mut engine = EriEngine::new();
@@ -66,13 +70,10 @@ pub fn build_g_mpi_only(
                         screened += 1;
                         continue;
                     }
-                    let (a, b, c, e) =
-                        (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
-                    let len =
-                        a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
                     eri_buf.clear();
-                    eri_buf.resize(len, 0.0);
-                    engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                     let mut sink = TriSink { buf: &mut fock, n };
                     digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
                     computed += 1;
@@ -84,6 +85,7 @@ pub fn build_g_mpi_only(
         rank.gsumf(&mut fock);
 
         rank.release_bytes(replicated_readonly_bytes(n));
+        rank.release_bytes(pairs.bytes());
         let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
         (
             result,
@@ -125,14 +127,20 @@ mod tests {
         })
     }
 
+    fn pairs_and_screening(b: &BasisSet) -> (ShellPairs, Screening) {
+        let pairs = ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        (pairs, s)
+    }
+
     #[test]
     fn matches_serial_for_various_rank_counts() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let want = build_g_serial(&b, &s, 1e-12, &d).g;
+        let want = build_g_serial(&b, &pairs, &s, 1e-12, &d).g;
         for n_ranks in [1, 2, 3, 5] {
-            let got = build_g_mpi_only(&b, &s, 1e-12, &d, n_ranks);
+            let got = build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, n_ranks);
             assert!(
                 got.g.max_abs_diff(&want) < 1e-10,
                 "{n_ranks} ranks: diff {}",
@@ -144,14 +152,14 @@ mod tests {
     #[test]
     fn all_tasks_distributed_exactly_once() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let out = build_g_mpi_only(&b, &s, 1e-12, &d, 3);
+        let out = build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, 3);
         let ns = b.n_shells();
         let p = ns * (ns + 1) / 2;
         assert_eq!(out.stats.dlb_tasks, p, "every ij pair is one task");
         // Quartet totals match the serial enumeration.
-        let serial = build_g_serial(&b, &s, 1e-12, &d);
+        let serial = build_g_serial(&b, &pairs, &s, 1e-12, &d);
         assert_eq!(
             out.stats.quartets_computed + out.stats.quartets_screened,
             serial.stats.quartets_computed + serial.stats.quartets_screened
@@ -161,10 +169,10 @@ mod tests {
     #[test]
     fn memory_replication_scales_with_ranks() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let one = build_g_mpi_only(&b, &s, 1e-12, &d, 1);
-        let four = build_g_mpi_only(&b, &s, 1e-12, &d, 4);
+        let one = build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, 1);
+        let four = build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, 4);
         // Four ranks replicate everything: total peak ~4x one rank's.
         let ratio = four.stats.memory_total_peak as f64 / one.stats.memory_total_peak as f64;
         assert!((ratio - 4.0).abs() < 0.2, "replication ratio {ratio}");

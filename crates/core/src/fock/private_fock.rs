@@ -13,7 +13,7 @@ use super::serial::GBuild;
 use super::{digest_quartet, kl_bounds, tri_to_full, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_integrals::{EriEngine, Screening};
+use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{Schedule, Team};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,6 +28,7 @@ fn replicated_readonly_bytes(n: usize) -> usize {
 /// Build `G(D)` with Algorithm 2 over `n_ranks` ranks x `n_threads` threads.
 pub fn build_g_private_fock(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
@@ -43,6 +44,9 @@ pub fn build_g_private_fock(
         let mut d_rank = rank.alloc_f64(n * n);
         d_rank.copy_from_slice(d.as_slice());
         rank.charge_bytes(replicated_readonly_bytes(n));
+        // One shell-pair dataset per rank, shared read-only by the team's
+        // threads (never replicated per thread).
+        rank.charge_bytes(pairs.bytes());
 
         let team = Team::new(n_threads);
         let current_i = AtomicUsize::new(0);
@@ -77,19 +81,10 @@ pub fn build_g_private_fock(
                             screened += 1;
                             continue;
                         }
-                        let (a, b, c, e) = (
-                            &basis.shells[i],
-                            &basis.shells[j],
-                            &basis.shells[k],
-                            &basis.shells[l],
-                        );
-                        let len = a.n_functions()
-                            * b.n_functions()
-                            * c.n_functions()
-                            * e.n_functions();
+                        let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
                         eri_buf.clear();
-                        eri_buf.resize(len, 0.0);
-                        engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                        eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                        engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                         let mut sink = TriSink { buf: &mut fock, n };
                         digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
                         computed += 1;
@@ -123,6 +118,7 @@ pub fn build_g_private_fock(
         // 2e-Fock matrix reduction over MPI (line 23).
         rank.gsumf(&mut fock);
         rank.release_bytes(replicated_readonly_bytes(n));
+        rank.release_bytes(pairs.bytes());
         stats.seconds = start.elapsed().as_secs_f64();
         let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
         (result, stats)
@@ -155,14 +151,20 @@ mod tests {
         })
     }
 
+    fn pairs_and_screening(b: &BasisSet) -> (ShellPairs, Screening) {
+        let pairs = ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        (pairs, s)
+    }
+
     #[test]
     fn matches_serial_across_rank_thread_grids() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let want = build_g_serial(&b, &s, 1e-12, &d).g;
+        let want = build_g_serial(&b, &pairs, &s, 1e-12, &d).g;
         for (r, t) in [(1, 1), (1, 4), (2, 2), (3, 2)] {
-            let got = build_g_private_fock(&b, &s, 1e-12, &d, r, t);
+            let got = build_g_private_fock(&b, &pairs, &s, 1e-12, &d, r, t);
             assert!(
                 got.g.max_abs_diff(&want) < 1e-10,
                 "{r} ranks x {t} threads: diff {}",
@@ -174,10 +176,10 @@ mod tests {
     #[test]
     fn covers_every_quartet_exactly_once() {
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let serial = build_g_serial(&b, &s, 0.0, &d);
-        let hybrid = build_g_private_fock(&b, &s, 0.0, &d, 2, 3);
+        let serial = build_g_serial(&b, &pairs, &s, 0.0, &d);
+        let hybrid = build_g_private_fock(&b, &pairs, &s, 0.0, &d, 2, 3);
         assert_eq!(hybrid.stats.quartets_computed, serial.stats.quartets_computed);
     }
 
@@ -185,10 +187,10 @@ mod tests {
     fn rank_memory_smaller_than_mpi_only_at_same_core_count() {
         // 4 "cores": MPI-only = 4 ranks; private Fock = 1 rank x 4 threads.
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let mpi = crate::fock::mpi_only::build_g_mpi_only(&b, &s, 1e-12, &d, 4);
-        let hyb = build_g_private_fock(&b, &s, 1e-12, &d, 1, 4);
+        let mpi = crate::fock::mpi_only::build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, 4);
+        let hyb = build_g_private_fock(&b, &pairs, &s, 1e-12, &d, 1, 4);
         assert!(
             hyb.stats.memory_total_peak < mpi.stats.memory_total_peak,
             "hybrid {} vs MPI {}",

@@ -5,7 +5,7 @@
 use super::{digest_quartet, kl_bounds, tri_to_full, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_integrals::{EriEngine, Screening};
+use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -23,6 +23,7 @@ pub struct GBuild {
 /// of the UHF spin Fock matrices.
 pub fn build_jk_serial(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
@@ -47,16 +48,14 @@ pub fn build_jk_serial(
                         quartets_screened += 1;
                         continue;
                     }
-                    let (a, b, c, e) =
-                        (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
-                    let len =
-                        a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
                     eri_buf.clear();
-                    eri_buf.resize(len, 0.0);
-                    engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                     // Digest with custom J/K factors over canonical
                     // function quartets.
-                    let sh = [a, b, c, e];
+                    let sh =
+                        [&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]];
                     let (ni, nj, nk, nl) = (
                         sh[0].n_functions(),
                         sh[1].n_functions(),
@@ -83,7 +82,9 @@ pub fn build_jk_serial(
                                     }
                                     let x = eri_buf[((fa * nj + fb) * nk + fc) * nl + fd];
                                     if x != 0.0 {
-                                        digest_value_scaled(mu, nu, lam, sig, x, d, cj, ck, &mut sink);
+                                        digest_value_scaled(
+                                            mu, nu, lam, sig, x, d, cj, ck, &mut sink,
+                                        );
                                     }
                                 }
                             }
@@ -107,8 +108,16 @@ pub fn build_jk_serial(
     }
 }
 
-/// Build `G(D)` with the serial canonical loops.
-pub fn build_g_serial(basis: &BasisSet, screening: &Screening, tau: f64, d: &Mat) -> GBuild {
+/// Build `G(D)` with the serial canonical loops. The quartet-independent
+/// pair data (E tables, product centers, prefactors, folded normalization)
+/// comes from the shared read-only `pairs` dataset.
+pub fn build_g_serial(
+    basis: &BasisSet,
+    pairs: &ShellPairs,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+) -> GBuild {
     let start = Instant::now();
     let n = basis.n_basis();
     let ns = basis.n_shells();
@@ -126,13 +135,10 @@ pub fn build_g_serial(basis: &BasisSet, screening: &Screening, tau: f64, d: &Mat
                         quartets_screened += 1;
                         continue;
                     }
-                    let (a, b, c, e) =
-                        (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
-                    let len =
-                        a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
                     eri_buf.clear();
-                    eri_buf.resize(len, 0.0);
-                    engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                     let mut sink = TriSink { buf: &mut buf, n };
                     digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
                     quartets_computed += 1;
@@ -162,14 +168,20 @@ mod tests {
     use phi_chem::basis::BasisName;
     use phi_chem::geom::small;
 
+    fn pairs_and_screening(b: &BasisSet) -> (ShellPairs, Screening) {
+        let pairs = ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        (pairs, s)
+    }
+
     #[test]
     fn g_is_symmetric() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
         let n = b.n_basis();
         let mut d = Mat::identity(n);
         d.scale(0.4);
-        let s = Screening::compute(&b);
-        let g = build_g_serial(&b, &s, 1e-12, &d).g;
+        let (pairs, s) = pairs_and_screening(&b);
+        let g = build_g_serial(&b, &pairs, &s, 1e-12, &d).g;
         assert!(g.is_symmetric(1e-12));
     }
 
@@ -177,12 +189,12 @@ mod tests {
     fn g_is_linear_in_density() {
         let b = BasisSet::build(&small::hydrogen_molecule(1.4), BasisName::Sto3g);
         let n = b.n_basis();
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d1 = Mat::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.2 });
         let mut d2 = d1.clone();
         d2.scale(3.0);
-        let g1 = build_g_serial(&b, &s, 0.0, &d1).g;
-        let g2 = build_g_serial(&b, &s, 0.0, &d2).g;
+        let g1 = build_g_serial(&b, &pairs, &s, 0.0, &d1).g;
+        let g2 = build_g_serial(&b, &pairs, &s, 0.0, &d2).g;
         let mut g1x3 = g1.clone();
         g1x3.scale(3.0);
         assert!(g2.max_abs_diff(&g1x3) < 1e-10);
@@ -193,12 +205,15 @@ mod tests {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
         let n = b.n_basis();
         let d = Mat::identity(n);
-        let s = Screening::compute(&b);
-        let out = build_g_serial(&b, &s, 1e-10, &d);
+        let (pairs, s) = pairs_and_screening(&b);
+        let out = build_g_serial(&b, &pairs, &s, 1e-10, &d);
         let ns = b.n_shells();
         // Total canonical quartets = P(P+1)/2 with P = ns(ns+1)/2.
         let p = ns * (ns + 1) / 2;
-        assert_eq!(out.stats.quartets_computed + out.stats.quartets_screened, (p * (p + 1) / 2) as u64);
+        assert_eq!(
+            out.stats.quartets_computed + out.stats.quartets_screened,
+            (p * (p + 1) / 2) as u64
+        );
         assert!(out.stats.quartets_computed > 0);
         assert!(out.stats.prim_quartets > 0);
     }

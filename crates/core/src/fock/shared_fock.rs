@@ -25,7 +25,7 @@ use super::serial::GBuild;
 use super::{digest_quartet, pair_decode, pair_index, tri_to_full, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_integrals::{EriEngine, Screening};
+use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{PaddedColumns, Schedule, SharedAccumulator, Team};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,13 +83,24 @@ impl FockSink for SharedFockSink<'_> {
 /// Build `G(D)` with Algorithm 3 over `n_ranks` ranks x `n_threads` threads.
 pub fn build_g_shared_fock(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
     n_ranks: usize,
     n_threads: usize,
 ) -> GBuild {
-    build_g_shared_fock_opt(basis, screening, tau, d, n_ranks, n_threads, TaskPrescreen::QMax, true)
+    build_g_shared_fock_opt(
+        basis,
+        pairs,
+        screening,
+        tau,
+        d,
+        n_ranks,
+        n_threads,
+        TaskPrescreen::QMax,
+        true,
+    )
 }
 
 /// Full-control variant: `prescreen` selects the task-level screen, and
@@ -98,6 +109,7 @@ pub fn build_g_shared_fock(
 #[allow(clippy::too_many_arguments)]
 pub fn build_g_shared_fock_opt(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
@@ -116,6 +128,8 @@ pub fn build_g_shared_fock_opt(
         let mut d_rank = rank.alloc_f64(n * n);
         d_rank.copy_from_slice(d.as_slice());
         rank.charge_bytes(replicated_readonly_bytes(n));
+        // One shell-pair dataset per rank, shared read-only by all threads.
+        rank.charge_bytes(pairs.bytes());
 
         // The rank's single shared Fock matrix (line 4: shared(Fock)).
         let fock = SharedAccumulator::new(n * n);
@@ -208,13 +222,10 @@ pub fn build_g_shared_fock_opt(
                         screened += 1;
                         return;
                     }
-                    let (a, b, c, e) =
-                        (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
-                    let len =
-                        a.n_functions() * b.n_functions() * c.n_functions() * e.n_functions();
+                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
                     eri_buf.clear();
-                    eri_buf.resize(len, 0.0);
-                    engine.shell_quartet(a, b, c, e, &mut eri_buf);
+                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                     digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
                     computed += 1;
                 });
@@ -252,6 +263,7 @@ pub fn build_g_shared_fock_opt(
         rank.release_bytes(fi.bytes() + fj.bytes());
         rank.release_bytes(n * n * std::mem::size_of::<f64>());
         rank.release_bytes(replicated_readonly_bytes(n));
+        rank.release_bytes(pairs.bytes());
 
         let mut stats = FockBuildStats::default();
         for ts in &thread_stats {
@@ -291,14 +303,20 @@ mod tests {
         })
     }
 
+    fn pairs_and_screening(b: &BasisSet) -> (ShellPairs, Screening) {
+        let pairs = ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        (pairs, s)
+    }
+
     #[test]
     fn matches_serial_across_rank_thread_grids() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let want = build_g_serial(&b, &s, 1e-12, &d).g;
+        let want = build_g_serial(&b, &pairs, &s, 1e-12, &d).g;
         for (r, t) in [(1, 1), (1, 4), (2, 2), (2, 3)] {
-            let got = build_g_shared_fock(&b, &s, 1e-12, &d, r, t);
+            let got = build_g_shared_fock(&b, &pairs, &s, 1e-12, &d, r, t);
             assert!(
                 got.g.max_abs_diff(&want) < 1e-10,
                 "{r} ranks x {t} threads: diff {}",
@@ -310,22 +328,22 @@ mod tests {
     #[test]
     fn matches_serial_with_d_functions() {
         let b = BasisSet::build(&small::water(), BasisName::B631gd);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let want = build_g_serial(&b, &s, 1e-11, &d).g;
-        let got = build_g_shared_fock(&b, &s, 1e-11, &d, 2, 2);
+        let want = build_g_serial(&b, &pairs, &s, 1e-11, &d).g;
+        let got = build_g_shared_fock(&b, &pairs, &s, 1e-11, &d, 2, 2);
         assert!(got.g.max_abs_diff(&want) < 1e-9, "diff {}", got.g.max_abs_diff(&want));
     }
 
     #[test]
     fn eager_fi_flush_gives_identical_result() {
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
         let lazy =
-            build_g_shared_fock_opt(&b, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, true);
+            build_g_shared_fock_opt(&b, &pairs, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, true);
         let eager =
-            build_g_shared_fock_opt(&b, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, false);
+            build_g_shared_fock_opt(&b, &pairs, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, false);
         assert!(lazy.g.max_abs_diff(&eager.g) < 1e-10);
     }
 
@@ -334,12 +352,14 @@ mod tests {
         // For a compact molecule nothing is prescreened away, so all three
         // policies give the same G.
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let qmax = build_g_shared_fock_opt(&b, &s, 1e-10, &d, 1, 2, TaskPrescreen::QMax, true);
+        let qmax =
+            build_g_shared_fock_opt(&b, &pairs, &s, 1e-10, &d, 1, 2, TaskPrescreen::QMax, true);
         let diag =
-            build_g_shared_fock_opt(&b, &s, 1e-10, &d, 1, 2, TaskPrescreen::Diagonal, true);
-        let off = build_g_shared_fock_opt(&b, &s, 1e-10, &d, 1, 2, TaskPrescreen::Off, true);
+            build_g_shared_fock_opt(&b, &pairs, &s, 1e-10, &d, 1, 2, TaskPrescreen::Diagonal, true);
+        let off =
+            build_g_shared_fock_opt(&b, &pairs, &s, 1e-10, &d, 1, 2, TaskPrescreen::Off, true);
         assert!(qmax.g.max_abs_diff(&off.g) < 1e-10);
         assert!(diag.g.max_abs_diff(&off.g) < 1e-10);
     }
@@ -353,14 +373,14 @@ mod tests {
         // surviving task (wrong Fock matrix). Dense molecules (water etc.)
         // never prescreen, which is why only sparse systems exposed it.
         let b = BasisSet::build(&small::h_chain(8, 5.0), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
         let tau = 1e-10;
-        let want = build_g_serial(&b, &s, tau, &d).g;
+        let want = build_g_serial(&b, &pairs, &s, tau, &d).g;
         for (r, t) in [(1, 2), (1, 4), (2, 3)] {
             // Repeat several times: the race was timing-dependent.
             for round in 0..5 {
-                let got = build_g_shared_fock(&b, &s, tau, &d, r, t);
+                let got = build_g_shared_fock(&b, &pairs, &s, tau, &d, r, t);
                 assert!(
                     got.g.max_abs_diff(&want) < 1e-10,
                     "{r}x{t} round {round}: diff {}",
@@ -374,12 +394,12 @@ mod tests {
     fn memory_hierarchy_matches_the_paper() {
         // At equal core counts: MPI-only > private Fock > shared Fock.
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
         let cores = 4;
-        let mpi = build_g_mpi_only(&b, &s, 1e-12, &d, cores);
-        let prv = build_g_private_fock(&b, &s, 1e-12, &d, 1, cores);
-        let shr = build_g_shared_fock(&b, &s, 1e-12, &d, 1, cores);
+        let mpi = build_g_mpi_only(&b, &pairs, &s, 1e-12, &d, cores);
+        let prv = build_g_private_fock(&b, &pairs, &s, 1e-12, &d, 1, cores);
+        let shr = build_g_shared_fock(&b, &pairs, &s, 1e-12, &d, 1, cores);
         assert!(
             mpi.stats.memory_total_peak > prv.stats.memory_total_peak,
             "MPI {} <= private {}",
@@ -397,9 +417,9 @@ mod tests {
     #[test]
     fn task_count_equals_surviving_pairs() {
         let b = BasisSet::build(&small::water(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let out = build_g_shared_fock(&b, &s, 1e-14, &d, 2, 2);
+        let out = build_g_shared_fock(&b, &pairs, &s, 1e-14, &d, 2, 2);
         let ns = b.n_shells();
         // Water/STO-3G is compact: no pair is prescreened at 1e-14.
         assert_eq!(out.stats.dlb_tasks, ns * (ns + 1) / 2);

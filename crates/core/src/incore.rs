@@ -11,7 +11,7 @@ use crate::fock::serial::GBuild;
 use crate::fock::{digest_quartet, kl_bounds, tri_to_full, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_integrals::{EriEngine, Screening};
+use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -31,6 +31,7 @@ impl IncoreEris {
     /// (returns `None` if the estimate exceeds it).
     pub fn compute(
         basis: &BasisSet,
+        pairs: &ShellPairs,
         screening: &Screening,
         tau: f64,
         max_bytes: usize,
@@ -47,19 +48,15 @@ impl IncoreEris {
                         if !screening.survives(i, j, k, l, tau) {
                             continue;
                         }
-                        let (a, b, c, e) =
-                            (&basis.shells[i], &basis.shells[j], &basis.shells[k], &basis.shells[l]);
-                        let len = a.n_functions()
-                            * b.n_functions()
-                            * c.n_functions()
-                            * e.n_functions();
+                        let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
+                        let len = bra.n_fn() * ket.n_fn();
                         if (values.len() + len) * 8 > max_bytes {
                             return None;
                         }
                         offsets.push(values.len());
                         values.resize(values.len() + len, 0.0);
                         let start = *offsets.last().expect("just pushed");
-                        engine.shell_quartet(a, b, c, e, &mut values[start..start + len]);
+                        engine.shell_quartet_pairs(bra, ket, &mut values[start..start + len]);
                         quartets.push((i as u32, j as u32, k as u32, l as u32));
                     }
                 }
@@ -85,7 +82,9 @@ impl IncoreEris {
         for (q, &(i, j, k, l)) in self.quartets.iter().enumerate() {
             let vals = &self.values[self.offsets[q]..self.offsets[q + 1]];
             let mut sink = TriSink { buf: &mut buf, n };
-            digest_quartet(basis, i as usize, j as usize, k as usize, l as usize, vals, d, &mut sink);
+            digest_quartet(
+                basis, i as usize, j as usize, k as usize, l as usize, vals, d, &mut sink,
+            );
         }
         GBuild {
             g: tri_to_full(&buf, n),
@@ -112,16 +111,22 @@ mod tests {
         })
     }
 
+    fn pairs_and_screening(b: &BasisSet) -> (ShellPairs, Screening) {
+        let pairs = ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        (pairs, s)
+    }
+
     #[test]
     fn incore_matches_direct_for_every_density() {
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let tau = 1e-10;
-        let eris = IncoreEris::compute(&b, &s, tau, 1 << 30).expect("fits");
+        let eris = IncoreEris::compute(&b, &pairs, &s, tau, 1 << 30).expect("fits");
         for seed in 0..3 {
             let mut d = density(b.n_basis());
             d.scale(1.0 + seed as f64 * 0.5);
-            let direct = build_g_serial(&b, &s, tau, &d).g;
+            let direct = build_g_serial(&b, &pairs, &s, tau, &d).g;
             let incore = eris.build_g(&b, &d).g;
             assert!(
                 direct.max_abs_diff(&incore) < 1e-11,
@@ -134,9 +139,9 @@ mod tests {
     #[test]
     fn quartet_count_matches_direct_build() {
         let b = BasisSet::build(&small::methane(), BasisName::Sto3g);
-        let s = Screening::compute(&b);
-        let eris = IncoreEris::compute(&b, &s, 1e-10, 1 << 30).expect("fits");
-        let direct = build_g_serial(&b, &s, 1e-10, &density(b.n_basis()));
+        let (pairs, s) = pairs_and_screening(&b);
+        let eris = IncoreEris::compute(&b, &pairs, &s, 1e-10, 1 << 30).expect("fits");
+        let direct = build_g_serial(&b, &pairs, &s, 1e-10, &density(b.n_basis()));
         assert_eq!(eris.n_quartets() as u64, direct.stats.quartets_computed);
         assert!(eris.stored_bytes() > 0);
     }
@@ -144,8 +149,11 @@ mod tests {
     #[test]
     fn memory_guard_refuses_oversized_stores() {
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
-        assert!(IncoreEris::compute(&b, &s, 1e-10, 1024).is_none(), "1 KB cannot hold water ERIs");
+        let (pairs, s) = pairs_and_screening(&b);
+        assert!(
+            IncoreEris::compute(&b, &pairs, &s, 1e-10, 1024).is_none(),
+            "1 KB cannot hold water ERIs"
+        );
     }
 
     #[test]
@@ -153,10 +161,10 @@ mod tests {
         // The whole point of conventional SCF: iteration cost drops once
         // integrals are stored. (Generous margin — debug builds are noisy.)
         let b = BasisSet::build(&small::water(), BasisName::B631g);
-        let s = Screening::compute(&b);
+        let (pairs, s) = pairs_and_screening(&b);
         let d = density(b.n_basis());
-        let eris = IncoreEris::compute(&b, &s, 1e-10, 1 << 30).expect("fits");
-        let t_direct = build_g_serial(&b, &s, 1e-10, &d).stats.seconds;
+        let eris = IncoreEris::compute(&b, &pairs, &s, 1e-10, 1 << 30).expect("fits");
+        let t_direct = build_g_serial(&b, &pairs, &s, 1e-10, &d).stats.seconds;
         let t_incore = eris.build_g(&b, &d).stats.seconds;
         assert!(
             t_incore < t_direct,

@@ -40,8 +40,8 @@ pub use fock::FockAlgorithm;
 pub use incore::IncoreEris;
 pub use memory_model::MemoryModel;
 pub use mp2::{mp2_energy, Mp2Result};
-pub use scf::{run_scf, ScfConfig, ScfResult};
 pub use properties::{dipole_moment, mulliken_charges, Dipole};
 pub use purification::{purify_density, purify_density_threaded, Purification};
+pub use scf::{run_scf, ScfConfig, ScfResult};
 pub use stats::FockBuildStats;
 pub use uhf::{mulliken_spin_populations, run_uhf, UhfConfig, UhfResult};

@@ -26,21 +26,45 @@ pub struct MemoryModel {
     pub mpi_per_node: usize,
     pub threads_per_rank: usize,
     pub ddi: DdiMode,
+    /// Bytes of the persistent shell-pair dataset
+    /// ([`phi_integrals::ShellPairs::bytes`]). Charged once per MPI rank —
+    /// shared read-only by the rank's threads, never replicated per thread,
+    /// and not doubled by DDI data servers (data servers hold distributed
+    /// arrays, not integral data).
+    pub pair_bytes: f64,
 }
 
 impl MemoryModel {
     /// The paper's MPI-only configuration (eq. 3a): up to 256 ranks/node.
     pub fn mpi_only(n_basis: usize, mpi_per_node: usize) -> MemoryModel {
-        MemoryModel { n_basis, mpi_per_node, threads_per_rank: 1, ddi: DdiMode::Mpi3OneSided }
+        MemoryModel {
+            n_basis,
+            mpi_per_node,
+            threads_per_rank: 1,
+            ddi: DdiMode::Mpi3OneSided,
+            pair_bytes: 0.0,
+        }
     }
 
     /// The paper's hybrid configuration: 4 ranks x `threads` threads.
     pub fn hybrid(n_basis: usize, mpi_per_node: usize, threads_per_rank: usize) -> MemoryModel {
-        MemoryModel { n_basis, mpi_per_node, threads_per_rank, ddi: DdiMode::Mpi3OneSided }
+        MemoryModel {
+            n_basis,
+            mpi_per_node,
+            threads_per_rank,
+            ddi: DdiMode::Mpi3OneSided,
+            pair_bytes: 0.0,
+        }
     }
 
     pub fn with_ddi(mut self, ddi: DdiMode) -> MemoryModel {
         self.ddi = ddi;
+        self
+    }
+
+    /// Account for the persistent shell-pair dataset (bytes per copy).
+    pub fn with_shell_pairs(mut self, bytes: usize) -> MemoryModel {
+        self.pair_bytes = bytes as f64;
         self
     }
 
@@ -52,19 +76,26 @@ impl MemoryModel {
         (self.mpi_per_node * self.ddi.processes_per_rank()) as f64
     }
 
+    /// Per-node contribution of the shell-pair dataset: one copy per rank
+    /// (NOT per compute thread, NOT per data server).
+    fn pair_term(&self) -> f64 {
+        self.pair_bytes * self.mpi_per_node as f64
+    }
+
     /// Eq. (3a): MPI-only footprint per node, bytes.
     pub fn bytes_mpi_only(&self) -> f64 {
-        2.5 * self.n2() * self.process_factor() * WORD
+        2.5 * self.n2() * self.process_factor() * WORD + self.pair_term()
     }
 
     /// Eq. (3b): private-Fock footprint per node, bytes.
     pub fn bytes_private_fock(&self) -> f64 {
         (2.0 + self.threads_per_rank as f64) * self.n2() * self.process_factor() * WORD
+            + self.pair_term()
     }
 
     /// Eq. (3c): shared-Fock footprint per node, bytes.
     pub fn bytes_shared_fock(&self) -> f64 {
-        3.5 * self.n2() * self.process_factor() * WORD
+        3.5 * self.n2() * self.process_factor() * WORD + self.pair_term()
     }
 
     pub fn gb_mpi_only(&self) -> f64 {
@@ -117,8 +148,13 @@ impl Table2Row {
 
 /// The paper's printed Table 2 values (GB) for comparison output:
 /// (system, MPI, private Fock, shared Fock).
-pub const PAPER_TABLE2_GB: [(f64, f64, f64); 5] =
-    [(7.0, 0.13, 0.03), (48.0, 1.0, 0.2), (160.0, 3.0, 0.8), (417.0, 8.0, 2.0), (9869.0, 257.0, 52.0)];
+pub const PAPER_TABLE2_GB: [(f64, f64, f64); 5] = [
+    (7.0, 0.13, 0.03),
+    (48.0, 1.0, 0.2),
+    (160.0, 3.0, 0.8),
+    (417.0, 8.0, 2.0),
+    (9869.0, 257.0, 52.0),
+];
 
 #[cfg(test)]
 mod tests {
@@ -153,6 +189,23 @@ mod tests {
         let base = MemoryModel::mpi_only(1800, 64);
         let with_servers = base.with_ddi(DdiMode::DataServer);
         assert!((with_servers.bytes_mpi_only() / base.bytes_mpi_only() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shell_pair_term_is_per_rank_not_per_thread_or_server() {
+        let pair_bytes = 123_456_789usize;
+        let base = MemoryModel::hybrid(1800, 4, 64);
+        let with_pairs = base.with_shell_pairs(pair_bytes);
+        let delta = with_pairs.bytes_shared_fock() - base.bytes_shared_fock();
+        // One copy per rank: 4 ranks x pair_bytes, independent of the 64
+        // threads.
+        assert!((delta - 4.0 * pair_bytes as f64).abs() < 1e-6);
+        assert!((with_pairs.bytes_private_fock() - base.bytes_private_fock() - delta).abs() < 1e-6);
+        // Data servers double the matrix replication but NOT the pair data.
+        let servers = with_pairs.with_ddi(DdiMode::DataServer);
+        let base_servers = base.with_ddi(DdiMode::DataServer);
+        let delta_servers = servers.bytes_shared_fock() - base_servers.bytes_shared_fock();
+        assert!((delta_servers - delta).abs() < 1e-6);
     }
 
     #[test]

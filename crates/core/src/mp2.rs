@@ -60,12 +60,8 @@ impl EriTensor {
                             &basis.shells[sk],
                             &basis.shells[sl],
                         );
-                        let (na, nb, nc, nd) = (
-                            a.n_functions(),
-                            b.n_functions(),
-                            c.n_functions(),
-                            d.n_functions(),
-                        );
+                        let (na, nb, nc, nd) =
+                            (a.n_functions(), b.n_functions(), c.n_functions(), d.n_functions());
                         buf.clear();
                         buf.resize(na * nb * nc * nd, 0.0);
                         engine.shell_quartet(a, b, c, d, &mut buf);
@@ -222,17 +218,17 @@ mod tests {
                 for nu in 0..n {
                     for lam in 0..n {
                         for sig in 0..n {
-                            want += c[(mu, p)] * c[(nu, q)] * c[(lam, r)] * c[(sig, s)]
+                            want += c[(mu, p)]
+                                * c[(nu, q)]
+                                * c[(lam, r)]
+                                * c[(sig, s)]
                                 * ao.get(mu, nu, lam, sig);
                         }
                     }
                 }
             }
             let got = mo.get(p, q, r, s);
-            assert!(
-                (got - want).abs() < 1e-10,
-                "({p}{q}|{r}{s}): fast {got} vs naive {want}"
-            );
+            assert!((got - want).abs() < 1e-10, "({p}{q}|{r}{s}): fast {got} vs naive {want}");
         }
     }
 

@@ -132,9 +132,10 @@ mod tests {
         let h = kinetic_matrix(&b).add(&nuclear_attraction_matrix(&b, &mol));
         let x = sym_inv_sqrt(&s, 1e-8);
         // One SCF iteration's Fock matrix (guess density).
-        let screening = Screening::compute(&b);
+        let pairs = phi_integrals::ShellPairs::build(&b);
+        let screening = Screening::from_pairs(&b, &pairs);
         let d0 = core_guess(&h, &x, mol.n_occupied());
-        let g = crate::fock::serial::build_g_serial(&b, &screening, 1e-10, &d0).g;
+        let g = crate::fock::serial::build_g_serial(&b, &pairs, &screening, 1e-10, &d0).g;
         (h.add(&g), x, s, mol.n_occupied())
     }
 
@@ -199,12 +200,13 @@ mod tests {
         let s = overlap_matrix(&b);
         let h = kinetic_matrix(&b).add(&nuclear_attraction_matrix(&b, &mol));
         let x = sym_inv_sqrt(&s, 1e-8);
-        let screening = Screening::compute(&b);
+        let pairs = phi_integrals::ShellPairs::build(&b);
+        let screening = Screening::from_pairs(&b, &pairs);
         let n_occ = mol.n_occupied();
         let mut d = core_guess(&h, &x, n_occ);
         let mut energy = 0.0;
         for _ in 0..60 {
-            let g = crate::fock::serial::build_g_serial(&b, &screening, 1e-10, &d).g;
+            let g = crate::fock::serial::build_g_serial(&b, &pairs, &screening, 1e-10, &d).g;
             let f = h.add(&g);
             energy = 0.5 * (d.dot(&h) + d.dot(&f)) + mol.nuclear_repulsion();
             d = purify_density(&f, &x, n_occ, 200, 1e-13).density;

@@ -12,7 +12,9 @@ use crate::fock::{self, FockAlgorithm};
 use crate::guess::{core_guess, density_from_orbitals, solve_roothaan};
 use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
-use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix, Screening};
+use phi_integrals::{
+    kinetic_matrix, nuclear_attraction_matrix, overlap_matrix, Screening, ShellPairs,
+};
 use phi_linalg::{sym_inv_sqrt, Mat};
 
 /// SCF configuration.
@@ -96,22 +98,25 @@ impl ScfResult {
 
 fn build_g(
     basis: &BasisSet,
+    pairs: &ShellPairs,
     screening: &Screening,
     tau: f64,
     d: &Mat,
     algorithm: FockAlgorithm,
 ) -> GBuild {
     match algorithm {
-        FockAlgorithm::Serial => fock::serial::build_g_serial(basis, screening, tau, d),
+        FockAlgorithm::Serial => fock::serial::build_g_serial(basis, pairs, screening, tau, d),
         FockAlgorithm::MpiOnly { n_ranks } => {
-            fock::mpi_only::build_g_mpi_only(basis, screening, tau, d, n_ranks)
+            fock::mpi_only::build_g_mpi_only(basis, pairs, screening, tau, d, n_ranks)
         }
         FockAlgorithm::PrivateFock { n_ranks, n_threads } => {
-            fock::private_fock::build_g_private_fock(basis, screening, tau, d, n_ranks, n_threads)
+            fock::private_fock::build_g_private_fock(
+                basis, pairs, screening, tau, d, n_ranks, n_threads,
+            )
         }
-        FockAlgorithm::SharedFock { n_ranks, n_threads } => {
-            fock::shared_fock::build_g_shared_fock(basis, screening, tau, d, n_ranks, n_threads)
-        }
+        FockAlgorithm::SharedFock { n_ranks, n_threads } => fock::shared_fock::build_g_shared_fock(
+            basis, pairs, screening, tau, d, n_ranks, n_threads,
+        ),
     }
 }
 
@@ -125,7 +130,11 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
     let s = overlap_matrix(basis);
     let h = kinetic_matrix(basis).add(&nuclear_attraction_matrix(basis, mol));
     let x = sym_inv_sqrt(&s, config.s_threshold);
-    let screening = Screening::compute(basis);
+    // The persistent shell-pair dataset: built once per (geometry, basis)
+    // and shared read-only by every SCF iteration, thread and rank. The
+    // Schwarz screening reuses its diagonal pairs.
+    let pairs = ShellPairs::build(basis);
+    let screening = Screening::from_pairs(basis, &pairs);
     let e_nn = mol.nuclear_repulsion();
 
     // Conventional SCF: precompute stored integrals if requested & they fit.
@@ -134,7 +143,7 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
             matches!(config.algorithm, FockAlgorithm::Serial),
             "in-core SCF is only implemented for the serial algorithm"
         );
-        crate::incore::IncoreEris::compute(basis, &screening, config.screening_tau, max)
+        crate::incore::IncoreEris::compute(basis, &pairs, &screening, config.screening_tau, max)
     });
 
     // Initial guess.
@@ -152,7 +161,7 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
         iterations = it + 1;
         let gb = match &incore {
             Some(eris) => eris.build_g(basis, &d),
-            None => build_g(basis, &screening, config.screening_tau, &d, config.algorithm),
+            None => build_g(basis, &pairs, &screening, config.screening_tau, &d, config.algorithm),
         };
         fock_stats.push(gb.stats);
         let mut f = h.add(&gb.g);
@@ -263,11 +272,7 @@ mod tests {
         let b = BasisSet::from_shells(BasisName::Sto3g, vec![he, h]);
         let r = run_scf(&mol, &b, &ScfConfig::default());
         assert!(r.converged);
-        assert!(
-            (r.energy - (-2.8606)).abs() < 1e-3,
-            "HeH+ energy {} vs Szabo -2.8606",
-            r.energy
-        );
+        assert!((r.energy - (-2.8606)).abs() < 1e-3, "HeH+ energy {} vs Szabo -2.8606", r.energy);
     }
 
     #[test]
@@ -307,8 +312,11 @@ mod tests {
     fn diis_reduces_iteration_count() {
         let mol = small::water();
         let with = scf(&mol, BasisName::Sto3g, &ScfConfig { diis: true, ..Default::default() });
-        let without =
-            scf(&mol, BasisName::Sto3g, &ScfConfig { diis: false, max_iterations: 200, ..Default::default() });
+        let without = scf(
+            &mol,
+            BasisName::Sto3g,
+            &ScfConfig { diis: false, max_iterations: 200, ..Default::default() },
+        );
         assert!(with.converged && without.converged);
         assert!(
             with.iterations <= without.iterations,
@@ -412,16 +420,10 @@ mod tests {
     #[test]
     fn screening_does_not_change_converged_energy_materially() {
         let mol = small::water();
-        let tight = scf(
-            &mol,
-            BasisName::B631g,
-            &ScfConfig { screening_tau: 0.0, ..Default::default() },
-        );
-        let screened = scf(
-            &mol,
-            BasisName::B631g,
-            &ScfConfig { screening_tau: 1e-10, ..Default::default() },
-        );
+        let tight =
+            scf(&mol, BasisName::B631g, &ScfConfig { screening_tau: 0.0, ..Default::default() });
+        let screened =
+            scf(&mol, BasisName::B631g, &ScfConfig { screening_tau: 1e-10, ..Default::default() });
         assert!((tight.energy - screened.energy).abs() < 1e-7);
     }
 }

@@ -17,7 +17,9 @@
 use crate::fock::serial::build_jk_serial;
 use crate::guess::{density_from_orbitals, solve_roothaan};
 use phi_chem::{BasisSet, Molecule};
-use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix, Screening};
+use phi_integrals::{
+    kinetic_matrix, nuclear_attraction_matrix, overlap_matrix, Screening, ShellPairs,
+};
 use phi_linalg::{sym_inv_sqrt, Mat};
 
 /// UHF configuration.
@@ -81,7 +83,8 @@ pub fn run_uhf(
     let s = overlap_matrix(basis);
     let h = kinetic_matrix(basis).add(&nuclear_attraction_matrix(basis, mol));
     let x = sym_inv_sqrt(&s, config.s_threshold);
-    let screening = Screening::compute(basis);
+    let pairs = ShellPairs::build(basis);
+    let screening = Screening::from_pairs(basis, &pairs);
     let e_nn = mol.nuclear_repulsion();
 
     // Core guess for both spins.
@@ -112,9 +115,12 @@ pub fn run_uhf(
     for it in 0..config.max_iterations {
         iterations = it + 1;
         let d_t = d_a.add(&d_b);
-        let j_t = build_jk_serial(basis, &screening, config.screening_tau, &d_t, 1.0, 0.0).g;
-        let k_a = build_jk_serial(basis, &screening, config.screening_tau, &d_a, 0.0, -1.0).g;
-        let k_b = build_jk_serial(basis, &screening, config.screening_tau, &d_b, 0.0, -1.0).g;
+        let j_t =
+            build_jk_serial(basis, &pairs, &screening, config.screening_tau, &d_t, 1.0, 0.0).g;
+        let k_a =
+            build_jk_serial(basis, &pairs, &screening, config.screening_tau, &d_a, 0.0, -1.0).g;
+        let k_b =
+            build_jk_serial(basis, &pairs, &screening, config.screening_tau, &d_b, 0.0, -1.0).g;
         let mut f_a = h.add(&j_t).add(&k_a);
         let mut f_b = h.add(&j_t).add(&k_b);
         f_a.symmetrize();
@@ -132,8 +138,8 @@ pub fn run_uhf(
         c_a_final = ca;
         c_b_final = cb;
 
-        let rms = (d_a_new.sub(&d_a).frobenius_norm() + d_b_new.sub(&d_b).frobenius_norm())
-            / (n as f64);
+        let rms =
+            (d_a_new.sub(&d_a).frobenius_norm() + d_b_new.sub(&d_b).frobenius_norm()) / (n as f64);
         d_a = d_a_new;
         d_b = d_b_new;
         if rms < config.convergence {
@@ -166,11 +172,7 @@ pub fn run_uhf(
 
 /// Mulliken spin populations: `n_A(spin) = sum_{mu in A} ((D_a - D_b) S)_{mu mu}`.
 /// Sums to `n_alpha - n_beta`.
-pub fn mulliken_spin_populations(
-    mol: &Molecule,
-    basis: &BasisSet,
-    result: &UhfResult,
-) -> Vec<f64> {
+pub fn mulliken_spin_populations(mol: &Molecule, basis: &BasisSet, result: &UhfResult) -> Vec<f64> {
     let s = phi_integrals::overlap_matrix(basis);
     let spin = result.density_alpha.sub(&result.density_beta);
     let ds = spin.matmul(&s);
@@ -216,15 +218,14 @@ mod tests {
     fn closed_shell_uhf_reduces_to_rhf() {
         let mol = small::water();
         let b = BasisSet::build(&mol, BasisName::Sto3g);
-        let rhf = run_scf(&mol, &b, &ScfConfig { diis: false, max_iterations: 200, ..Default::default() });
+        let rhf = run_scf(
+            &mol,
+            &b,
+            &ScfConfig { diis: false, max_iterations: 200, ..Default::default() },
+        );
         let uhf = run_uhf(&mol, &b, 5, 5, &UhfConfig::default());
         assert!(rhf.converged && uhf.converged);
-        assert!(
-            (rhf.energy - uhf.energy).abs() < 1e-7,
-            "RHF {} vs UHF {}",
-            rhf.energy,
-            uhf.energy
-        );
+        assert!((rhf.energy - uhf.energy).abs() < 1e-7, "RHF {} vs UHF {}", rhf.energy, uhf.energy);
         assert!(uhf.s_squared.abs() < 1e-8, "closed shell must have <S^2> = 0");
     }
 
@@ -257,13 +258,8 @@ mod tests {
         let mol = small::hydrogen_molecule(5.0);
         let b = BasisSet::build(&mol, BasisName::Sto3g);
         let rhf = run_scf(&mol, &b, &ScfConfig::default());
-        let uhf = run_uhf(
-            &mol,
-            &b,
-            1,
-            1,
-            &UhfConfig { break_symmetry: true, ..Default::default() },
-        );
+        let uhf =
+            run_uhf(&mol, &b, 1, 1, &UhfConfig { break_symmetry: true, ..Default::default() });
         assert!(rhf.converged && uhf.converged);
         assert!(
             uhf.energy < rhf.energy - 1e-4,
@@ -298,15 +294,16 @@ mod tests {
         use crate::fock::serial::{build_g_serial, build_jk_serial};
         let mol = small::water();
         let b = BasisSet::build(&mol, BasisName::Sto3g);
-        let s = Screening::compute(&b);
+        let pairs = ShellPairs::build(&b);
+        let s = Screening::from_pairs(&b, &pairs);
         let n = b.n_basis();
         let d = Mat::from_fn(n, n, |i, j| {
             let (i, j) = if i >= j { (i, j) } else { (j, i) };
             0.1 + ((i + 3 * j) % 5) as f64 * 0.07
         });
-        let g = build_g_serial(&b, &s, 0.0, &d).g;
-        let j = build_jk_serial(&b, &s, 0.0, &d, 1.0, 0.0).g;
-        let mk_half = build_jk_serial(&b, &s, 0.0, &d, 0.0, -0.5).g;
+        let g = build_g_serial(&b, &pairs, &s, 0.0, &d).g;
+        let j = build_jk_serial(&b, &pairs, &s, 0.0, &d, 1.0, 0.0).g;
+        let mk_half = build_jk_serial(&b, &pairs, &s, 0.0, &d, 0.0, -0.5).g;
         let recombined = j.add(&mk_half);
         assert!(g.max_abs_diff(&recombined) < 1e-10);
     }

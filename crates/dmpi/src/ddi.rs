@@ -8,7 +8,7 @@
 //! benchmarks without data servers; the mode lives here so the memory
 //! model can quantify what the servers would have cost.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::Arc;
 
 /// Which DDI transport the run models.

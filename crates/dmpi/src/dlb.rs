@@ -58,9 +58,8 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..4 {
             let d = d.clone();
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| d.next()).collect::<Vec<_>>()
-            }));
+            handles
+                .push(std::thread::spawn(move || (0..1000).map(|_| d.next()).collect::<Vec<_>>()));
         }
         let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();

@@ -25,6 +25,7 @@
 pub mod ddi;
 pub mod dlb;
 pub mod memory;
+pub mod sync;
 pub mod world;
 
 pub use ddi::{DdiMode, DistributedArray};

@@ -3,10 +3,10 @@
 
 use crate::dlb::Dlb;
 use crate::memory::{MemoryReport, MemoryTracker, TrackedBuf};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// A tagged point-to-point message.
@@ -37,7 +37,9 @@ pub struct Rank {
     id: usize,
     shared: Arc<WorldShared>,
     senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    /// Wrapped in a mutex so `Rank` stays `Sync` with the std mpsc receiver
+    /// (p2p calls are one-rank operations; the lock is uncontended).
+    receiver: Mutex<Receiver<Message>>,
     /// Messages received but not yet matched by a `recv` call.
     /// Mutex (not RefCell) so a `Rank` can be shared with an OpenMP-style
     /// thread team; p2p calls themselves remain one-rank operations.
@@ -73,7 +75,7 @@ where
     let mut senders = Vec::with_capacity(n_ranks);
     let mut receivers = Vec::with_capacity(n_ranks);
     for _ in 0..n_ranks {
-        let (s, r) = unbounded();
+        let (s, r) = channel();
         senders.push(s);
         receivers.push(r);
     }
@@ -84,7 +86,7 @@ where
             id,
             shared: shared.clone(),
             senders: senders.clone(),
-            receiver,
+            receiver: Mutex::new(receiver),
             stash: Mutex::new(VecDeque::new()),
         })
         .collect();
@@ -185,7 +187,7 @@ impl Rank {
             }
         }
         loop {
-            let msg = self.receiver.recv().expect("senders outlive the world");
+            let msg = self.receiver.lock().recv().expect("senders outlive the world");
             if msg.from == from && msg.tag == tag {
                 return msg.data;
             }

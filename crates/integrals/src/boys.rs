@@ -155,7 +155,10 @@ mod tests {
             for m in 0..6 {
                 let lhs = (2 * m + 1) as f64 * f[m];
                 let rhs = 2.0 * t * f[m + 1] + e;
-                assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()), "recursion broken at m={m}, T={t}");
+                assert!(
+                    (lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()),
+                    "recursion broken at m={m}, T={t}"
+                );
             }
         }
     }

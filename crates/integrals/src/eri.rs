@@ -29,66 +29,20 @@
 //! work arrays of the paper's OpenMP implementation: Fock-build threads each
 //! construct one engine and never share it.
 
-use crate::cart::{component_norm, components};
-use crate::hermite::ETable;
+use crate::cart::components;
 use crate::rints::RTable;
+use crate::shell_pairs::ShellPair;
 use phi_chem::Shell;
 
 const PI: f64 = std::f64::consts::PI;
 
-/// Hermite tables and Gaussian-product data for one primitive pair.
-struct PairTables {
-    ex: ETable,
-    ey: ETable,
-    ez: ETable,
-    /// Sum of the two exponents.
-    p: f64,
-    /// Product center.
-    center: [f64; 3],
-    /// Gaussian-product prefactor `exp(-mu |AB|^2)` (E000 product).
-    k: f64,
-}
-
-/// Build tables for every primitive pair of two shells at the shells'
-/// maximum angular momenta (valid for every lower block too).
-fn build_pair_tables(sa: &Shell, sb: &Shell) -> Vec<PairTables> {
-    let (la, lb) = (sa.max_l(), sb.max_l());
-    let mut out = Vec::with_capacity(sa.exps.len() * sb.exps.len());
-    for &aexp in &sa.exps {
-        for &bexp in &sb.exps {
-            let p = aexp + bexp;
-            let ex = ETable::build(la, lb, aexp, bexp, sa.center[0], sb.center[0]);
-            let ey = ETable::build(la, lb, aexp, bexp, sa.center[1], sb.center[1]);
-            let ez = ETable::build(la, lb, aexp, bexp, sa.center[2], sb.center[2]);
-            let k = ex.get(0, 0, 0) * ey.get(0, 0, 0) * ez.get(0, 0, 0);
-            out.push(PairTables {
-                ex,
-                ey,
-                ez,
-                p,
-                center: [
-                    (aexp * sa.center[0] + bexp * sb.center[0]) / p,
-                    (aexp * sa.center[1] + bexp * sb.center[1]) / p,
-                    (aexp * sa.center[2] + bexp * sb.center[2]) / p,
-                ],
-                k,
-            })
-        }
-    }
-    out
-}
-
-/// Largest |coefficient| over all blocks and primitives of a shell — the
-/// cheap bound used for primitive-level screening.
-fn max_abs_coef(shell: &Shell) -> f64 {
-    shell
-        .blocks
-        .iter()
-        .flat_map(|b| b.coefs.iter())
-        .fold(0.0f64, |m, c| m.max(c.abs()))
-}
-
 /// Reusable ERI evaluator with thread-private scratch space.
+///
+/// The hot path is [`EriEngine::shell_quartet_pairs`], which consumes two
+/// precomputed [`ShellPair`]s and performs no heap allocation per quartet:
+/// all intermediates live in engine-owned buffers that grow to a high-water
+/// mark on first use. [`EriEngine::shell_quartet`] is a compatibility
+/// wrapper that builds the two pairs on the fly.
 pub struct EriEngine {
     /// Primitive-quartet prefactor cutoff: quartets whose Gaussian-product
     /// prefactors bound the integral below this are skipped. Set to 0.0 for
@@ -102,6 +56,8 @@ pub struct EriEngine {
     w: Vec<f64>,
     /// Stage-2 per-bra-component accumulator (ncd elements).
     acc: Vec<f64>,
+    /// Reusable Hermite Coulomb table (one rebuild per primitive quartet).
+    r: RTable,
 }
 
 impl Default for EriEngine {
@@ -118,6 +74,7 @@ impl EriEngine {
             prim_quartets: 0,
             w: Vec::new(),
             acc: Vec::new(),
+            r: RTable::new(),
         }
     }
 
@@ -132,42 +89,48 @@ impl EriEngine {
     /// Evaluate the full contracted quartet `(ab|cd)` into `out`, which must
     /// have length `na * nb * nc * nd` (shell function counts). `out` is
     /// overwritten.
-    pub fn shell_quartet(&mut self, sa: &Shell, sb: &Shell, sc: &Shell, sd: &Shell, out: &mut [f64]) {
-        let (na, nb, nc, nd) =
-            (sa.n_functions(), sb.n_functions(), sc.n_functions(), sd.n_functions());
-        let _ = na;
-        assert_eq!(out.len(), na * nb * nc * nd, "output buffer has wrong length");
+    ///
+    /// Compatibility wrapper: builds both shell pairs on the fly (keeping
+    /// every primitive pair) and delegates to
+    /// [`EriEngine::shell_quartet_pairs`]. Production Fock builds construct
+    /// a persistent `ShellPairs` dataset instead and never pay this per-call
+    /// rebuild.
+    pub fn shell_quartet(
+        &mut self,
+        sa: &Shell,
+        sb: &Shell,
+        sc: &Shell,
+        sd: &Shell,
+        out: &mut [f64],
+    ) {
+        let bra = ShellPair::build(0, 0, sa, sb, 0.0);
+        let ket = ShellPair::build(0, 0, sc, sd, 0.0);
+        self.shell_quartet_pairs(&bra, &ket, out);
+    }
+
+    /// Evaluate the full contracted quartet `(ab|cd)` from precomputed pair
+    /// data into `out` (length `na * nb * nc * nd`, overwritten). Shell `a`
+    /// is `bra.a`, `b` is `bra.b`, `c` is `ket.a`, `d` is `ket.b`.
+    ///
+    /// Allocation-free: E tables, product centers, prefactors, coefficient
+    /// products, block offsets and normalization factors all come from the
+    /// pair dataset; scratch lives in the engine.
+    pub fn shell_quartet_pairs(&mut self, bra: &ShellPair, ket: &ShellPair, out: &mut [f64]) {
+        let (nb, nc, nd) = (bra.b.n_fn, ket.a.n_fn, ket.b.n_fn);
+        assert_eq!(out.len(), bra.a.n_fn * nb * nc * nd, "output buffer has wrong length");
         out.iter_mut().for_each(|x| *x = 0.0);
         self.shell_quartets += 1;
 
-        let bra = build_pair_tables(sa, sb);
-        let ket = build_pair_tables(sc, sd);
-        let l_bra = sa.max_l() + sb.max_l();
-        let l_ket = sc.max_l() + sd.max_l();
+        let l_bra = bra.l_sum;
+        let l_ket = ket.l_sum;
         let bra_dim = l_bra + 1;
         let n_tuv = bra_dim * bra_dim * bra_dim;
 
-        // Function offsets of each angular block within its shell.
-        let offsets = |s: &Shell| -> Vec<usize> {
-            let mut off = Vec::with_capacity(s.blocks.len());
-            let mut acc = 0;
-            for b in &s.blocks {
-                off.push(acc);
-                acc += components(b.l).len();
-            }
-            off
-        };
-        let (off_a, off_b, off_c, off_d) = (offsets(sa), offsets(sb), offsets(sc), offsets(sd));
-
         // Primitive screening bound: largest possible coefficient weight.
-        let coef_bound =
-            max_abs_coef(sa) * max_abs_coef(sb) * max_abs_coef(sc) * max_abs_coef(sd);
+        let coef_bound = bra.max_coef * ket.max_coef;
 
-        let (npb, npd) = (sb.exps.len(), sd.exps.len());
-        for (ip_ab, bt) in bra.iter().enumerate() {
-            let (pa, pb) = (ip_ab / npb, ip_ab % npb);
-            for (ip_cd, kt) in ket.iter().enumerate() {
-                let (pc, pd) = (ip_cd / npd, ip_cd % npd);
+        for (ip_ab, bt) in bra.prims.iter().enumerate() {
+            for (ip_cd, kt) in ket.prims.iter().enumerate() {
                 let p = bt.p;
                 let q = kt.p;
                 let base = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt());
@@ -178,27 +141,29 @@ impl EriEngine {
                 let alpha = p * q / (p + q);
                 // One R table per primitive quartet, reused by every block
                 // combination.
-                let r = RTable::build(
+                self.r.rebuild(
                     l_bra + l_ket,
                     alpha,
                     bt.center[0] - kt.center[0],
                     bt.center[1] - kt.center[1],
                     bt.center[2] - kt.center[2],
                 );
+                let r = &self.r;
 
-                for (bci, bc) in sc.blocks.iter().enumerate() {
-                    let comps_c = components(bc.l);
-                    for (bdi, bd) in sd.blocks.iter().enumerate() {
-                        let comps_d = components(bd.l);
+                for (bci, blk_c) in ket.a.blocks.iter().enumerate() {
+                    let comps_c = components(blk_c.l);
+                    for (bdi, blk_d) in ket.b.blocks.iter().enumerate() {
+                        let comps_d = components(blk_d.l);
                         let ncd = comps_c.len() * comps_d.len();
-                        let wcd = bc.coefs[pc] * bd.coefs[pd];
+                        let wcd = ket.coef(ip_cd, bci, bdi);
                         let scale_ket = base * wcd;
                         if scale_ket == 0.0 {
                             continue;
                         }
 
                         // Stage 1: contract the ket Hermite expansion into
-                        // W[tuv][cd], once per ket block pair.
+                        // W[tuv][cd], once per ket block pair. Component
+                        // normalization of c and d folds in here.
                         let w_len = n_tuv * ncd;
                         if self.w.len() < w_len {
                             self.w.resize(w_len, 0.0);
@@ -206,7 +171,9 @@ impl EriEngine {
                         let w = &mut self.w[..w_len];
                         w.iter_mut().for_each(|x| *x = 0.0);
                         for (icc, &(cx, cy, cz)) in comps_c.iter().enumerate() {
+                            let norm_c = ket.a.norms[blk_c.off + icc];
                             for (idd, &(dx, dy, dz)) in comps_d.iter().enumerate() {
+                                let scale_cd = scale_ket * norm_c * ket.b.norms[blk_d.off + idd];
                                 let cdi = icc * comps_d.len() + idd;
                                 for tau in 0..=(cx + dx) {
                                     let etx = kt.ex.get(cx, dx, tau);
@@ -225,16 +192,15 @@ impl EriEngine {
                                             }
                                             let sign =
                                                 if (tau + nu + phi) % 2 == 1 { -1.0 } else { 1.0 };
-                                            let e_ket = sign * etx * ety * etz * scale_ket;
+                                            let e_ket = sign * etx * ety * etz * scale_cd;
                                             for t in 0..=l_bra {
                                                 for u in 0..=(l_bra - t) {
                                                     for v in 0..=(l_bra - t - u) {
-                                                        let widx = ((t * bra_dim + u) * bra_dim
-                                                            + v)
-                                                            * ncd
-                                                            + cdi;
-                                                        w[widx] += e_ket
-                                                            * r.get(t + tau, u + nu, v + phi);
+                                                        let widx =
+                                                            ((t * bra_dim + u) * bra_dim + v) * ncd
+                                                                + cdi;
+                                                        w[widx] +=
+                                                            e_ket * r.get(t + tau, u + nu, v + phi);
                                                     }
                                                 }
                                             }
@@ -244,16 +210,19 @@ impl EriEngine {
                             }
                         }
 
-                        // Stage 2: bra expansion, every bra block pair.
-                        for (bai, ba) in sa.blocks.iter().enumerate() {
-                            let comps_a = components(ba.l);
-                            for (bbi, bb) in sb.blocks.iter().enumerate() {
-                                let comps_b = components(bb.l);
-                                let wab = ba.coefs[pa] * bb.coefs[pb];
+                        // Stage 2: bra expansion, every bra block pair, with
+                        // a/b component normalization folded into the
+                        // accumulation weight.
+                        for (bai, blk_a) in bra.a.blocks.iter().enumerate() {
+                            let comps_a = components(blk_a.l);
+                            for (bbi, blk_b) in bra.b.blocks.iter().enumerate() {
+                                let comps_b = components(blk_b.l);
+                                let wab = bra.coef(ip_ab, bai, bbi);
                                 if wab == 0.0 {
                                     continue;
                                 }
                                 for (iaa, &(ax, ay, az)) in comps_a.iter().enumerate() {
+                                    let wab_a = wab * bra.a.norms[blk_a.off + iaa];
                                     for (ibb, &(bx, by, bz)) in comps_b.iter().enumerate() {
                                         if self.acc.len() < ncd {
                                             self.acc.resize(ncd, 0.0);
@@ -276,8 +245,7 @@ impl EriEngine {
                                                         continue;
                                                     }
                                                     let e_bra = etx * ety * etz;
-                                                    let row = &self.w[((t * bra_dim + u)
-                                                        * bra_dim
+                                                    let row = &self.w[((t * bra_dim + u) * bra_dim
                                                         + v)
                                                         * ncd
                                                         ..((t * bra_dim + u) * bra_dim + v) * ncd
@@ -288,15 +256,15 @@ impl EriEngine {
                                                 }
                                             }
                                         }
-                                        let obase = ((off_a[bai] + iaa) * nb + off_b[bbi] + ibb)
-                                            * nc;
-                                        for (icc, _) in comps_c.iter().enumerate() {
-                                            for (idd, _) in comps_d.iter().enumerate() {
+                                        let wab_full = wab_a * bra.b.norms[blk_b.off + ibb];
+                                        let obase = ((blk_a.off + iaa) * nb + blk_b.off + ibb) * nc;
+                                        for icc in 0..comps_c.len() {
+                                            for idd in 0..comps_d.len() {
                                                 let cdi = icc * comps_d.len() + idd;
-                                                let oidx = (obase + off_c[bci] + icc) * nd
-                                                    + off_d[bdi]
+                                                let oidx = (obase + blk_c.off + icc) * nd
+                                                    + blk_d.off
                                                     + idd;
-                                                out[oidx] += wab * acc[cdi];
+                                                out[oidx] += wab_full * acc[cdi];
                                             }
                                         }
                                     }
@@ -307,35 +275,7 @@ impl EriEngine {
                 }
             }
         }
-
-        // Per-component normalization factors.
-        let fa = norms(sa);
-        let fb = norms(sb);
-        let fc = norms(sc);
-        let fd = norms(sd);
-        let mut idx = 0;
-        for &xa in &fa {
-            for &xb in &fb {
-                for &xc in &fc {
-                    let f3 = xa * xb * xc;
-                    for &xd in &fd {
-                        out[idx] *= f3 * xd;
-                        idx += 1;
-                    }
-                }
-            }
-        }
     }
-}
-
-fn norms(shell: &Shell) -> Vec<f64> {
-    let mut out = Vec::with_capacity(shell.n_functions());
-    for b in &shell.blocks {
-        for &c in components(b.l) {
-            out.push(component_norm(c));
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -347,7 +287,13 @@ mod tests {
     fn prim_shell(l: usize, alpha: f64, center: [f64; 3]) -> Shell {
         let df: f64 = (1..=l).map(|k| 2.0 * k as f64 - 1.0).product();
         let norm = (2.0 * alpha / PI).powf(0.75) * (4.0 * alpha).powf(l as f64 / 2.0) / df.sqrt();
-        Shell { atom: 0, center, exps: vec![alpha], blocks: vec![AngBlock { l, coefs: vec![norm] }], first_bf: 0 }
+        Shell {
+            atom: 0,
+            center,
+            exps: vec![alpha],
+            blocks: vec![AngBlock { l, coefs: vec![norm] }],
+            first_bf: 0,
+        }
     }
 
     fn quartet(engine: &mut EriEngine, a: &Shell, b: &Shell, c: &Shell, d: &Shell) -> Vec<f64> {
@@ -427,14 +373,8 @@ mod tests {
             .iter()
             .find(|s| s.blocks.len() == 2)
             .expect("water/STO-3G has an SP shell on oxygen");
-        let s_only = Shell {
-            blocks: vec![l_shell.blocks[0].clone()],
-            ..l_shell.clone()
-        };
-        let p_only = Shell {
-            blocks: vec![l_shell.blocks[1].clone()],
-            ..l_shell.clone()
-        };
+        let s_only = Shell { blocks: vec![l_shell.blocks[0].clone()], ..l_shell.clone() };
+        let p_only = Shell { blocks: vec![l_shell.blocks[1].clone()], ..l_shell.clone() };
         let probe = prim_shell(0, 0.8, [0.5, 0.1, -0.3]);
         let mut e = EriEngine::new();
         e.prefactor_cutoff = 0.0;

@@ -14,7 +14,11 @@
 //! * [`screening`] — Cauchy–Schwarz bounds `Q_ij = sqrt((ij|ij))`, the
 //!   screening the paper applies at both the `ij`-task and `ijkl`-quartet
 //!   level, plus survivor-count statistics that drive the cluster
-//!   simulator.
+//!   simulator;
+//! * [`shell_pairs`] — the persistent shell-pair dataset (Hermite `E`
+//!   tables, product centers, prefactors, folded normalization, Schwarz
+//!   bounds), built once per geometry/basis and shared read-only by every
+//!   Fock-build rank and thread.
 //!
 //! Angular momentum is general in the recurrences and exercised through
 //! cartesian *d* functions (everything 6-31G(d) needs); combined SP shells
@@ -27,7 +31,11 @@ pub mod hermite;
 pub mod one_electron;
 pub mod rints;
 pub mod screening;
+pub mod shell_pairs;
 
 pub use eri::EriEngine;
-pub use one_electron::{dipole_matrices, kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
+pub use one_electron::{
+    dipole_matrices, kinetic_matrix, nuclear_attraction_matrix, overlap_matrix,
+};
 pub use screening::{Screening, WorkloadStats};
+pub use shell_pairs::{ShellPair, ShellPairs};

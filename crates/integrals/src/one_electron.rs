@@ -30,11 +30,8 @@ pub fn kinetic_matrix(basis: &BasisSet) -> Mat {
 /// Nuclear attraction matrix
 /// `V_{mu nu} = -sum_C Z_C <mu | 1/r_C | nu>`.
 pub fn nuclear_attraction_matrix(basis: &BasisSet, mol: &Molecule) -> Mat {
-    let charges: Vec<([f64; 3], f64)> = mol
-        .atoms()
-        .iter()
-        .map(|a| (a.pos, a.element.atomic_number() as f64))
-        .collect();
+    let charges: Vec<([f64; 3], f64)> =
+        mol.atoms().iter().map(|a| (a.pos, a.element.atomic_number() as f64)).collect();
     build_symmetric(basis, |sa, sb, out, nb| {
         shell_pair(sa, sb, out, nb, PairOp::Nuclear(&charges));
     })
@@ -178,7 +175,13 @@ fn shell_pair(sa: &Shell, sb: &Shell, out: &mut [f64], nb_total: usize, op: Pair
                             let scale = 2.0 * PI / p * w;
                             let l_tot = ba.l + bb.l;
                             for &(cpos, z) in charges.iter() {
-                                let r = RTable::build(l_tot, p, px - cpos[0], py - cpos[1], pz - cpos[2]);
+                                let r = RTable::build(
+                                    l_tot,
+                                    p,
+                                    px - cpos[0],
+                                    py - cpos[1],
+                                    pz - cpos[2],
+                                );
                                 for (ia, &(ax, ay, az)) in comps_a.iter().enumerate() {
                                     for (ib, &(bx, by, bz)) in comps_b.iter().enumerate() {
                                         let mut acc = 0.0;
@@ -193,11 +196,15 @@ fn shell_pair(sa: &Shell, sb: &Shell, out: &mut [f64], nb_total: usize, op: Pair
                                                     continue;
                                                 }
                                                 for v in 0..=(az + bz) {
-                                                    acc += etx * euy * ez.get(az, bz, v) * r.get(t, u, v);
+                                                    acc += etx
+                                                        * euy
+                                                        * ez.get(az, bz, v)
+                                                        * r.get(t, u, v);
                                                 }
                                             }
                                         }
-                                        out[(off_a + ia) * nb_total + off_b + ib] -= scale * z * acc;
+                                        out[(off_a + ia) * nb_total + off_b + ib] -=
+                                            scale * z * acc;
                                     }
                                 }
                             }
@@ -242,8 +249,7 @@ mod tests {
     fn single_prim_shell(l: usize, alpha: f64, center: [f64; 3]) -> Shell {
         // Normalized single-primitive coefficient for the (l,0,0) component.
         let df: f64 = (1..=l).map(|k| 2.0 * k as f64 - 1.0).product();
-        let norm =
-            (2.0 * alpha / PI).powf(0.75) * (4.0 * alpha).powf(l as f64 / 2.0) / df.sqrt();
+        let norm = (2.0 * alpha / PI).powf(0.75) * (4.0 * alpha).powf(l as f64 / 2.0) / df.sqrt();
         Shell {
             atom: 0,
             center,

@@ -14,30 +14,59 @@
 use crate::boys::boys;
 
 /// Dense table of `R^0_{tuv}` for `t + u + v <= l_total`.
-#[derive(Clone, Debug)]
+///
+/// The table is reusable: [`RTable::rebuild`] recomputes it in place,
+/// recycling the internal buffers, so a caller evaluating many primitive
+/// quartets (the ERI engine) performs no heap allocation after the first
+/// build at a given order.
+#[derive(Clone, Debug, Default)]
 pub struct RTable {
     dim: usize,
     data: Vec<f64>,
+    /// Rolling buffer for the auxiliary orders during construction.
+    aux: Vec<f64>,
+    /// Boys function values `F_0..F_{l_total}`.
+    fm: Vec<f64>,
 }
 
 impl RTable {
+    /// An empty table; call [`RTable::rebuild`] before [`RTable::get`].
+    pub fn new() -> RTable {
+        RTable::default()
+    }
+
     /// Build the table for total Hermite order `l_total`, screening exponent
     /// `alpha` and center displacement `(x, y, z)`.
     pub fn build(l_total: usize, alpha: f64, x: f64, y: f64, z: f64) -> RTable {
+        let mut tab = RTable::new();
+        tab.rebuild(l_total, alpha, x, y, z);
+        tab
+    }
+
+    /// Recompute the table in place (see [`RTable::build`] for parameters).
+    pub fn rebuild(&mut self, l_total: usize, alpha: f64, x: f64, y: f64, z: f64) {
         let dim = l_total + 1;
+        self.dim = dim;
         let r2 = x * x + y * y + z * z;
-        let mut fm = vec![0.0; l_total + 1];
-        boys(alpha * r2, &mut fm);
+        self.fm.clear();
+        self.fm.resize(l_total + 1, 0.0);
+        boys(alpha * r2, &mut self.fm);
 
         // aux[n][t][u][v]; we fold n into a rolling pair of buffers, highest
         // order first. At step n we can compute entries with t+u+v <= l_total - n.
         let vol = dim * dim * dim;
         let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
-        let mut prev = vec![0.0; vol]; // order n + 1
-        let mut cur = vec![0.0; vol]; // order n
+        let mut prev = std::mem::take(&mut self.data); // order n + 1
+        let mut cur = std::mem::take(&mut self.aux); // order n
+        if prev.len() < vol {
+            prev.resize(vol, 0.0);
+        }
+        if cur.len() < vol {
+            cur.resize(vol, 0.0);
+        }
         for n in (0..=l_total).rev() {
             cur.iter_mut().for_each(|c| *c = 0.0);
-            cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * fm[n];
+            cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * self.fm[n];
             let reach = l_total - n;
             // Fill by increasing total order so dependencies are ready.
             for total in 1..=reach {
@@ -70,7 +99,8 @@ impl RTable {
             std::mem::swap(&mut prev, &mut cur);
         }
         // After the loop the n = 0 slice lives in `prev`.
-        RTable { dim, data: prev }
+        self.data = prev;
+        self.aux = cur;
     }
 
     /// `R^0_{tuv}`.
@@ -102,12 +132,7 @@ mod tests {
         let f = |xx: f64| RTable::build(0, alpha, xx, y, z).get(0, 0, 0);
         let numeric = (f(x + h) - f(x - h)) / (2.0 * h);
         let tab = RTable::build(1, alpha, x, y, z);
-        assert!(
-            (tab.get(1, 0, 0) - numeric).abs() < 1e-7,
-            "{} vs {}",
-            tab.get(1, 0, 0),
-            numeric
-        );
+        assert!((tab.get(1, 0, 0) - numeric).abs() < 1e-7, "{} vs {}", tab.get(1, 0, 0), numeric);
     }
 
     #[test]
@@ -117,12 +142,7 @@ mod tests {
         let f = |zz: f64| RTable::build(0, alpha, x, y, zz).get(0, 0, 0);
         let numeric = (f(z + h) - 2.0 * f(z) + f(z - h)) / (h * h);
         let tab = RTable::build(2, alpha, x, y, z);
-        assert!(
-            (tab.get(0, 0, 2) - numeric).abs() < 1e-5,
-            "{} vs {}",
-            tab.get(0, 0, 2),
-            numeric
-        );
+        assert!((tab.get(0, 0, 2) - numeric).abs() < 1e-5, "{} vs {}", tab.get(0, 0, 2), numeric);
     }
 
     #[test]
@@ -132,8 +152,8 @@ mod tests {
         let (alpha, x, y, z) = (0.9, 0.5, 0.3, 0.0);
         let h = 1e-4;
         let f = |xx: f64, yy: f64| RTable::build(0, alpha, xx, yy, z).get(0, 0, 0);
-        let numeric = (f(x + h, y + h) - f(x + h, y - h) - f(x - h, y + h) + f(x - h, y - h))
-            / (4.0 * h * h);
+        let numeric =
+            (f(x + h, y + h) - f(x + h, y - h) - f(x - h, y + h) + f(x - h, y - h)) / (4.0 * h * h);
         let tab = RTable::build(2, alpha, x, y, z);
         assert!((tab.get(1, 1, 0) - numeric).abs() < 1e-5);
     }

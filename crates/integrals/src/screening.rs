@@ -16,6 +16,7 @@
 //!   of the O(P^2) of brute-force enumeration.
 
 use crate::eri::EriEngine;
+use crate::shell_pairs::ShellPairs;
 use phi_chem::{BasisSet, Shell};
 
 /// Packed lower-triangular index for `i >= j`.
@@ -46,6 +47,23 @@ impl Screening {
     /// Exact `Q_ij` for every pair, via the diagonal quartets `(ij|ij)`.
     pub fn compute(basis: &BasisSet) -> Screening {
         Screening::compute_hybrid(basis, 0.0)
+    }
+
+    /// `Q_ij` table read directly out of a persistent [`ShellPairs`]
+    /// dataset, whose construction already evaluated every diagonal quartet
+    /// through the pair-cached path. This is the production route: the Fock
+    /// builders share the same dataset, so the bounds are computed exactly
+    /// once per (geometry, basis).
+    pub fn from_pairs(basis: &BasisSet, pairs: &ShellPairs) -> Screening {
+        let n = basis.n_shells();
+        assert_eq!(n, pairs.n_shells(), "pair dataset covers a different basis");
+        let mut q = vec![0.0f32; n_pairs(n)];
+        let mut q_max = 0.0f64;
+        for pr in pairs.iter() {
+            q[pair_index(pr.i, pr.j)] = pr.schwarz as f32;
+            q_max = q_max.max(pr.schwarz);
+        }
+        Screening { n_shells: n, q, q_max }
     }
 
     /// Hybrid computation for large systems: pairs whose Gaussian-product
@@ -423,7 +441,10 @@ mod tests {
                             (&b.shells[i], &b.shells[j], &b.shells[k], &b.shells[l]);
                         buf.clear();
                         buf.resize(
-                            si.n_functions() * sj.n_functions() * sk.n_functions() * sl.n_functions(),
+                            si.n_functions()
+                                * sj.n_functions()
+                                * sk.n_functions()
+                                * sl.n_functions(),
                             0.0,
                         );
                         engine.shell_quartet(si, sj, sk, sl, &mut buf);
@@ -433,6 +454,36 @@ mod tests {
                             vmax <= bound * (1.0 + 1e-6) + 1e-12,
                             "({i}{j}|{k}{l}): {vmax} > {bound}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_pairs_matches_compute() {
+        let (b, s) = water_screening();
+        let pairs = crate::ShellPairs::build_with(&b, 0.0);
+        let sp = Screening::from_pairs(&b, &pairs);
+        assert_eq!(s.n_shells(), sp.n_shells());
+        for i in 0..b.n_shells() {
+            for j in 0..=i {
+                let (qa, qb) = (s.q(i, j), sp.q(i, j));
+                assert!((qa - qb).abs() <= 1e-6 * qa.max(1e-30), "({i},{j}): {qa} vs {qb}");
+            }
+        }
+        // Survivor decisions must agree at practical thresholds.
+        for tau in [1e-6, 1e-10] {
+            for i in 0..b.n_shells() {
+                for j in 0..=i {
+                    for k in 0..=i {
+                        for l in 0..=k {
+                            assert_eq!(
+                                s.survives(i, j, k, l, tau),
+                                sp.survives(i, j, k, l, tau),
+                                "({i}{j}|{k}{l}) at tau={tau}"
+                            );
+                        }
                     }
                 }
             }

@@ -11,7 +11,7 @@ use crate::cost::EriCostTable;
 use hf::fock::{digest_quartet, TriSink};
 use phi_chem::BasisSet;
 use phi_integrals::screening::ShellClasses;
-use phi_integrals::EriEngine;
+use phi_integrals::{EriEngine, ShellPair};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -42,20 +42,28 @@ pub fn calibrate_eri_costs(basis: &BasisSet, classes: &ShellClasses) -> EriCostT
                     let ket_pc = b1 * (b1 + 1) / 2 + b2;
                     let (si, sj, sk, sl) =
                         (reps_shells[a1], reps_shells[a2], reps_shells[b1], reps_shells[b2]);
-                    let (sa, sb, sc, sd) =
-                        (&basis.shells[si], &basis.shells[sj], &basis.shells[sk], &basis.shells[sl]);
-                    let len = sa.n_functions() * sb.n_functions() * sc.n_functions()
-                        * sd.n_functions();
+                    let (sa, sb, sc, sd) = (
+                        &basis.shells[si],
+                        &basis.shells[sj],
+                        &basis.shells[sk],
+                        &basis.shells[sl],
+                    );
+                    let len =
+                        sa.n_functions() * sb.n_functions() * sc.n_functions() * sd.n_functions();
                     eri_buf.clear();
                     eri_buf.resize(len, 0.0);
+                    // Pair data is persistent in the real builders, so it is
+                    // built outside the timed loop here as well.
+                    let bra = ShellPair::build(si, sj, sa, sb, 0.0);
+                    let ket = ShellPair::build(sk, sl, sc, sd, 0.0);
                     // Warm up once, then time batches until the window is
                     // long enough to trust.
-                    engine.shell_quartet(sa, sb, sc, sd, &mut eri_buf);
+                    engine.shell_quartet_pairs(&bra, &ket, &mut eri_buf);
                     let mut total_reps = 0u64;
                     let start = Instant::now();
                     loop {
                         for _ in 0..16 {
-                            engine.shell_quartet(sa, sb, sc, sd, &mut eri_buf);
+                            engine.shell_quartet_pairs(&bra, &ket, &mut eri_buf);
                             let mut sink = TriSink { buf: &mut fbuf, n };
                             digest_quartet(basis, si, sj, sk, sl, &eri_buf, &d, &mut sink);
                         }

@@ -41,8 +41,8 @@ impl EriCostTable {
                 // ~110 ns per primitive quartet (E tables + R table) plus
                 // ~6 ns per output component (Hermite sums + digestion) —
                 // the rough proportions measured on the real engine.
-                ns[bra * npc + ket] = 110.0 * pair_prims[bra] * pair_prims[ket]
-                    + 6.0 * pair_fns[bra] * pair_fns[ket];
+                ns[bra * npc + ket] =
+                    110.0 * pair_prims[bra] * pair_prims[ket] + 6.0 * pair_fns[bra] * pair_fns[ket];
             }
         }
         EriCostTable { n_pair_classes: npc, ns }

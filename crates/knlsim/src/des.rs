@@ -252,8 +252,7 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
     // Compact pinning packs SMT siblings even when free cores remain, so
     // it never takes the even-spread shortcut; the spreading policies
     // converge to it at full saturation.
-    let per_thread_speed = if cfg.affinity != Affinity::Compact
-        && total_threads_node >= node.cores
+    let per_thread_speed = if cfg.affinity != Affinity::Compact && total_threads_node >= node.cores
     {
         let load = total_threads_node as f64 / node.cores as f64;
         node.core_throughput(load.min(node.smt as f64)) / load.min(node.smt as f64)
@@ -269,8 +268,7 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
         _ => 1.0,
     };
     // Nominal-thread-equivalents of work per second, per rank.
-    let rank_speed =
-        threads as f64 * per_thread_speed / (cost.knl_slowdown * affinity_factor);
+    let rank_speed = threads as f64 * per_thread_speed / (cost.knl_slowdown * affinity_factor);
 
     // --- Cost multipliers ------------------------------------------------
     let contention = if cfg.algorithm == SimAlgorithm::SharedFock && threads > 1 {
@@ -369,7 +367,8 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
         // a few under static chunking.
         let tail_items = if cfg.static_schedule { 4.0 } else { 1.0 };
         let tail = if threads > 1 && task.n_items > 0 {
-            tail_items * task.cost_s * mult / task.n_items as f64
+            tail_items * task.cost_s * mult
+                / task.n_items as f64
                 / (per_thread_speed / cost.knl_slowdown)
         } else {
             0.0
@@ -405,7 +404,9 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
         // their whole Schwarz-check loops (workshared over the team).
         let skipped_checks =
             (workload.total_quartets - workload.sum_klmax_tasks) as f64 * CHECK_NS * 1e-9;
-        empty_time_per_rank += skipped_checks / (threads as f64) / total_ranks as f64
+        empty_time_per_rank += skipped_checks
+            / (threads as f64)
+            / total_ranks as f64
             / (per_thread_speed / cost.knl_slowdown);
     }
     let counter_serial = empty_claims as f64 * dlb_service;
@@ -480,7 +481,11 @@ mod tests {
         for alg in [SimAlgorithm::MpiOnly, SimAlgorithm::PrivateFock, SimAlgorithm::SharedFock] {
             let r = simulate(&w, &cm, &SimConfig::hybrid(alg, 2));
             assert!(r.feasible);
-            assert!(r.busy_fraction > 0.0 && r.busy_fraction <= 1.0, "{alg:?}: {}", r.busy_fraction);
+            assert!(
+                r.busy_fraction > 0.0 && r.busy_fraction <= 1.0,
+                "{alg:?}: {}",
+                r.busy_fraction
+            );
         }
     }
 

@@ -62,7 +62,11 @@ impl Ctx {
     /// point is then a prediction). Returns the scale applied.
     pub fn anchor(&mut self, nodes: usize, seconds: f64) -> f64 {
         self.cost.time_scale = 1.0;
-        let sim = simulate(&self.workload, &self.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
+        let sim = simulate(
+            &self.workload,
+            &self.cost,
+            &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes),
+        );
         let scale = seconds / sim.total_seconds;
         self.cost.time_scale = scale;
         scale
@@ -202,18 +206,15 @@ pub const PAPER_TABLE3: [(usize, [f64; 3], [f64; 3]); 6] = [
 pub fn fig6_table3(ctx: &Ctx) -> Table {
     let mut t = Table::new(
         format!("Figure 6 / Table 3 — multi-node scaling, {} (quad-cache)", ctx.label),
-        &[
-            "nodes", "MPI s", "PrF s", "ShF s", "MPI eff%", "PrF eff%", "ShF eff%", "ShF speedup",
-        ],
+        &["nodes", "MPI s", "PrF s", "ShF s", "MPI eff%", "PrF eff%", "ShF eff%", "ShF speedup"],
     );
     let nodes_list = [4usize, 16, 64, 128, 256, 512];
     let mut base: Option<[f64; 3]> = None;
     for &nodes in &nodes_list {
         let mut times = [0.0f64; 3];
-        for (k, alg) in
-            [SimAlgorithm::MpiOnly, SimAlgorithm::PrivateFock, SimAlgorithm::SharedFock]
-                .into_iter()
-                .enumerate()
+        for (k, alg) in [SimAlgorithm::MpiOnly, SimAlgorithm::PrivateFock, SimAlgorithm::SharedFock]
+            .into_iter()
+            .enumerate()
         {
             let cfg = if alg == SimAlgorithm::MpiOnly {
                 // The paper requests up to 256 ranks/node; memory caps it.
@@ -224,9 +225,8 @@ pub fn fig6_table3(ctx: &Ctx) -> Table {
             times[k] = simulate(&ctx.workload, &ctx.cost, &cfg).total_seconds;
         }
         let b = *base.get_or_insert(times);
-        let eff: Vec<f64> = (0..3)
-            .map(|k| parallel_efficiency(b[k], nodes_list[0], times[k], nodes))
-            .collect();
+        let eff: Vec<f64> =
+            (0..3).map(|k| parallel_efficiency(b[k], nodes_list[0], times[k], nodes)).collect();
         t.row(vec![
             nodes.to_string(),
             fmt_secs(times[0]),
@@ -254,7 +254,8 @@ pub fn fig7(ctx: &Ctx) -> Table {
     let nodes_list = [256usize, 512, 1024, 1536, 2048, 2500, 3000];
     let mut base: Option<(usize, f64)> = None;
     for &nodes in &nodes_list {
-        let r = simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
+        let r =
+            simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
         let (bn, bt) = *base.get_or_insert((nodes, r.total_seconds));
         t.row(vec![
             nodes.to_string(),
@@ -277,11 +278,15 @@ pub fn ablation_flush(ctx: &Ctx) -> Table {
         &["nodes", "lazy flush s", "eager flush s", "penalty %"],
     );
     for nodes in [1usize, 4, 16] {
-        let lazy = simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
+        let lazy =
+            simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
         let eager = simulate(
             &ctx.workload,
             &ctx.cost,
-            &SimConfig { eager_fi_flush: true, ..SimConfig::hybrid(SimAlgorithm::SharedFock, nodes) },
+            &SimConfig {
+                eager_fi_flush: true,
+                ..SimConfig::hybrid(SimAlgorithm::SharedFock, nodes)
+            },
         );
         t.row(vec![
             nodes.to_string(),
@@ -300,11 +305,15 @@ pub fn ablation_prescreen(ctx: &Ctx) -> Table {
         &["nodes", "prescreen on s", "prescreen off s", "penalty %"],
     );
     for nodes in [1usize, 4, 16] {
-        let on = simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
+        let on =
+            simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
         let off = simulate(
             &ctx.workload,
             &ctx.cost,
-            &SimConfig { task_prescreen: false, ..SimConfig::hybrid(SimAlgorithm::SharedFock, nodes) },
+            &SimConfig {
+                task_prescreen: false,
+                ..SimConfig::hybrid(SimAlgorithm::SharedFock, nodes)
+            },
         );
         t.row(vec![
             nodes.to_string(),
@@ -324,12 +333,18 @@ pub fn ablation_schedule(ctx: &Ctx) -> Table {
         &["nodes", "dynamic s", "static s", "difference %"],
     );
     for nodes in [1usize, 4] {
-        let dynamic =
-            simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes));
+        let dynamic = simulate(
+            &ctx.workload,
+            &ctx.cost,
+            &SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes),
+        );
         let stat = simulate(
             &ctx.workload,
             &ctx.cost,
-            &SimConfig { static_schedule: true, ..SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes) },
+            &SimConfig {
+                static_schedule: true,
+                ..SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes)
+            },
         );
         t.row(vec![
             nodes.to_string(),
@@ -381,8 +396,13 @@ pub fn crossover(ctx: &Ctx) -> Table {
     let mut crossed_at: Option<usize> = None;
     for k in 0..10 {
         let nodes = 1usize << k;
-        let prf = simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes));
-        let shf = simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
+        let prf = simulate(
+            &ctx.workload,
+            &ctx.cost,
+            &SimConfig::hybrid(SimAlgorithm::PrivateFock, nodes),
+        );
+        let shf =
+            simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
         let faster = if shf.total_seconds < prf.total_seconds { "shared" } else { "private" };
         if faster == "shared" && crossed_at.is_none() {
             crossed_at = Some(nodes);
@@ -395,9 +415,9 @@ pub fn crossover(ctx: &Ctx) -> Table {
         ]);
     }
     match crossed_at {
-        Some(n) => t.note(format!(
-            "shared Fock overtakes private Fock at ~{n} nodes for this workload"
-        )),
+        Some(n) => {
+            t.note(format!("shared Fock overtakes private Fock at ~{n} nodes for this workload"))
+        }
         None => t.note("no crossover within 512 nodes"),
     }
     t

@@ -272,10 +272,7 @@ impl Mat {
     /// Largest absolute elementwise difference to `other`.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// Whether `|self_ij - self_ji| <= tol` everywhere.
@@ -309,9 +306,7 @@ impl Mat {
     /// Matrix-vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len());
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Congruence transform `xᵀ * self * x` (e.g. Fock orthogonalization).

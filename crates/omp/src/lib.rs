@@ -25,6 +25,7 @@ pub mod affinity;
 pub mod reduce;
 pub mod schedule;
 pub mod shared;
+pub mod sync;
 pub mod team;
 
 pub use affinity::Affinity;

@@ -37,12 +37,7 @@ impl PaddedColumns {
     /// `len` logical elements per column, one column per thread.
     pub fn new(len: usize, n_cols: usize) -> PaddedColumns {
         let stride = len.div_ceil(PAD) * PAD + PAD;
-        PaddedColumns {
-            data: UnsafeCell::new(vec![0.0; stride * n_cols]),
-            len,
-            stride,
-            n_cols,
-        }
+        PaddedColumns { data: UnsafeCell::new(vec![0.0; stride * n_cols]), len, stride, n_cols }
     }
 
     pub fn len(&self) -> usize {

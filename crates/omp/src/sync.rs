@@ -1,0 +1,19 @@
+//! Minimal mutex wrapper over `std::sync::Mutex` with a `parking_lot`-style
+//! infallible `lock()` (poisoning is ignored: a panicked holder leaves data
+//! in a consistent-enough state for the runtimes here, which only guard
+//! bookkeeping vectors). Keeps the workspace free of external dependencies
+//! so it builds without network access.
+
+/// Mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

@@ -1,7 +1,7 @@
 //! Thread teams and parallel regions.
 
 use crate::schedule::{guided_chunk, static_chunks, Schedule};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
@@ -82,12 +82,8 @@ impl Team {
                 let shared = &shared;
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let ctx = ThreadCtx {
-                        thread_num: t,
-                        n_threads: n,
-                        shared,
-                        loop_seq: Cell::new(0),
-                    };
+                    let ctx =
+                        ThreadCtx { thread_num: t, n_threads: n, shared, loop_seq: Cell::new(0) };
                     f(&ctx)
                 }));
             }
@@ -199,7 +195,13 @@ impl ThreadCtx<'_> {
     /// `(0..n1) x (0..n2)` (`!$omp do collapse(2)`), with the implicit
     /// trailing barrier. This is how Algorithm 2 merges its `j` and `k`
     /// loops to enlarge the task pool.
-    pub fn collapse2(&self, n1: usize, n2: usize, sched: Schedule, mut body: impl FnMut(usize, usize)) {
+    pub fn collapse2(
+        &self,
+        n1: usize,
+        n2: usize,
+        sched: Schedule,
+        mut body: impl FnMut(usize, usize),
+    ) {
         if n2 == 0 {
             // Degenerate rectangle: still a worksharing construct.
             self.for_each(0, sched, |_| {});

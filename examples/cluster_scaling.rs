@@ -29,7 +29,10 @@ fn main() {
         ctx.workload.ij_tasks.len(),
         ctx.workload.surviving_quartets as f64
     );
-    println!("{:>6} {:>14} {:>14} {:>14}", "nodes", "MPI-only s", "private Fock s", "shared Fock s");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "nodes", "MPI-only s", "private Fock s", "shared Fock s"
+    );
     for nodes in [1usize, 2, 4, 8, 16, 32] {
         let mut row = format!("{nodes:>6}");
         for alg in [SimAlgorithm::MpiOnly, SimAlgorithm::PrivateFock, SimAlgorithm::SharedFock] {

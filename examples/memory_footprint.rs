@@ -10,7 +10,7 @@ use phi_scf::chem::geom::graphene::PaperSystem;
 use phi_scf::chem::geom::small;
 use phi_scf::hf::fock::{mpi_only, private_fock, shared_fock};
 use phi_scf::hf::memory_model::Table2Row;
-use phi_scf::integrals::Screening;
+use phi_scf::integrals::{Screening, ShellPairs};
 use phi_scf::linalg::Mat;
 
 fn main() {
@@ -35,15 +35,19 @@ fn main() {
     println!("\nLive measurement (tracked allocations) on methane/6-31G at 8-way parallelism:");
     let mol = small::methane();
     let basis = BasisSet::build(&mol, BasisName::B631g);
-    let screening = Screening::compute(&basis);
+    let pairs = ShellPairs::build(&basis);
+    let screening = Screening::from_pairs(&basis, &pairs);
+    println!("  shell-pair dataset: {} bytes (shared per rank)", pairs.bytes());
     let n = basis.n_basis();
     let d = Mat::identity(n);
-    let mpi = mpi_only::build_g_mpi_only(&basis, &screening, 1e-10, &d, 8);
-    let prf = private_fock::build_g_private_fock(&basis, &screening, 1e-10, &d, 1, 8);
-    let shf = shared_fock::build_g_shared_fock(&basis, &screening, 1e-10, &d, 1, 8);
-    for (name, s) in
-        [("MPI-only 8 ranks", &mpi.stats), ("private Fock 1x8", &prf.stats), ("shared Fock 1x8", &shf.stats)]
-    {
+    let mpi = mpi_only::build_g_mpi_only(&basis, &pairs, &screening, 1e-10, &d, 8);
+    let prf = private_fock::build_g_private_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 8);
+    let shf = shared_fock::build_g_shared_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 8);
+    for (name, s) in [
+        ("MPI-only 8 ranks", &mpi.stats),
+        ("private Fock 1x8", &prf.stats),
+        ("shared Fock 1x8", &shf.stats),
+    ] {
         println!(
             "  {:18} peak {:>10} bytes  ({:.1}x below MPI-only)",
             name,

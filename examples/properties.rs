@@ -17,10 +17,14 @@ fn main() {
         assert!(scf.converged);
         let dip = dipole_moment(&mol, &basis, &scf.density);
         let charges = mulliken_charges(&mol, &basis, &scf.density);
-        let mp2 = mp2_energy(&basis, &scf.orbitals, &scf.orbital_energies, mol.n_occupied(), scf.energy);
+        let mp2 =
+            mp2_energy(&basis, &scf.orbitals, &scf.orbital_energies, mol.n_occupied(), scf.energy);
         println!("{name} / 6-31G");
         println!("  E(RHF)  = {:>14.8} Eh", scf.energy);
-        println!("  E(MP2)  = {:>14.8} Eh  (corr {:+.6})", mp2.total_energy, mp2.correlation_energy);
+        println!(
+            "  E(MP2)  = {:>14.8} Eh  (corr {:+.6})",
+            mp2.total_energy, mp2.correlation_energy
+        );
         println!("  dipole  = {:>10.4} D", dip.magnitude_debye());
         print!("  Mulliken charges:");
         for (a, q) in mol.atoms().iter().zip(&charges) {

@@ -18,13 +18,8 @@ fn main() {
         let mol = small::hydrogen_molecule(r);
         let basis = BasisSet::build(&mol, BasisName::Sto3g);
         let rhf = run_scf(&mol, &basis, &ScfConfig::default());
-        let uhf = run_uhf(
-            &mol,
-            &basis,
-            1,
-            1,
-            &UhfConfig { break_symmetry: true, ..Default::default() },
-        );
+        let uhf =
+            run_uhf(&mol, &basis, 1, 1, &UhfConfig { break_symmetry: true, ..Default::default() });
         println!(
             "{:>8.1} {:>14.8} {:>14.8} {:>10.4}{}",
             r,

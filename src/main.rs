@@ -169,7 +169,8 @@ fn run() -> Result<(), String> {
     );
 
     if let Some((na, nb)) = uhf {
-        let config = UhfConfig { screening_tau: tau, max_iterations: max_iter, ..Default::default() };
+        let config =
+            UhfConfig { screening_tau: tau, max_iterations: max_iter, ..Default::default() };
         let r = run_uhf(&mol, &b, na, nb, &config);
         println!(
             "UHF ({na} alpha, {nb} beta): E = {:.8} Eh  <S^2> = {:.4}  ({} iterations, converged: {})",
@@ -213,10 +214,7 @@ fn run() -> Result<(), String> {
             return Err("MP2 needs a converged SCF".into());
         }
         let c = mp2_energy(&b, &r.orbitals, &r.orbital_energies, mol.n_occupied(), r.energy);
-        println!(
-            "MP2: E_corr = {:.8} Eh, total = {:.8} Eh",
-            c.correlation_energy, c.total_energy
-        );
+        println!("MP2: E_corr = {:.8} Eh, total = {:.8} Eh", c.correlation_energy, c.total_energy);
     }
     Ok(())
 }

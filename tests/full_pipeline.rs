@@ -35,7 +35,8 @@ fn water_631gd_exercises_d_functions_in_parallel() {
     let serial = energy(&mol, BasisName::B631gd, FockAlgorithm::Serial);
     // RHF/6-31G(d) water at the experimental geometry: about -76.01 Eh.
     assert!((serial - (-76.01)).abs() < 0.03, "water/6-31G(d) energy {serial}");
-    let shared = energy(&mol, BasisName::B631gd, FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 });
+    let shared =
+        energy(&mol, BasisName::B631gd, FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 });
     assert!((shared - serial).abs() < 1e-8);
 }
 
@@ -77,10 +78,7 @@ fn charged_species_work_end_to_end() {
         vec![
             phi_scf::chem::Atom { element: phi_scf::chem::Element::H, pos: [0.0, 0.0, 0.0] },
             phi_scf::chem::Atom { element: phi_scf::chem::Element::H, pos: [r, 0.0, 0.0] },
-            phi_scf::chem::Atom {
-                element: phi_scf::chem::Element::H,
-                pos: [r / 2.0, r * h, 0.0],
-            },
+            phi_scf::chem::Atom { element: phi_scf::chem::Element::H, pos: [r / 2.0, r * h, 0.0] },
         ],
         1,
     );

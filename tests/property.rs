@@ -1,107 +1,163 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants across the workspace.
+//! Randomized property tests on the core data structures and invariants
+//! across the workspace. A small in-tree LCG drives the case generation so
+//! the suite runs fully offline; every test is deterministic per seed.
 
-use proptest::prelude::*;
 use phi_scf::chem::basis::{custom_shell, BasisName, BasisSet};
+use phi_scf::chem::Shell;
 use phi_scf::integrals::boys::boys_single;
-use phi_scf::integrals::EriEngine;
+use phi_scf::integrals::{EriEngine, ShellPairs};
 use phi_scf::linalg::{eigh, solve, Mat};
+
+/// Deterministic PRNG (64-bit LCG, top bits) for property-style tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [lo, hi).
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in [0, n).
+    fn index(&mut self, n: usize) -> usize {
+        (self.unit() * n as f64) as usize % n
+    }
+}
+
+fn random_symmetric(rng: &mut Rng, n: usize, lo: f64, hi: f64) -> Mat {
+    let mut m = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = rng.range(lo, hi);
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    m
+}
 
 // ---------------------------------------------------------------- linalg --
 
-fn symmetric_mat(n: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-10.0f64..10.0, n * (n + 1) / 2).prop_map(move |tri| {
-        let mut m = Mat::zeros(n, n);
-        let mut it = tri.into_iter();
-        for i in 0..n {
-            for j in 0..=i {
-                let v = it.next().unwrap();
-                m[(i, j)] = v;
-                m[(j, i)] = v;
-            }
-        }
-        m
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn eigh_reconstructs_and_is_orthonormal(a in symmetric_mat(8)) {
+#[test]
+fn eigh_reconstructs_and_is_orthonormal() {
+    let mut rng = Rng::new(11);
+    for _ in 0..48 {
+        let a = random_symmetric(&mut rng, 8, -10.0, 10.0);
         let e = eigh(&a);
         let rebuilt = e.apply(|x| x);
-        prop_assert!(rebuilt.max_abs_diff(&a) < 1e-8,
-            "reconstruction error {}", rebuilt.max_abs_diff(&a));
+        assert!(
+            rebuilt.max_abs_diff(&a) < 1e-8,
+            "reconstruction error {}",
+            rebuilt.max_abs_diff(&a)
+        );
         let vtv = e.vectors.matmul_tn(&e.vectors);
-        prop_assert!(vtv.max_abs_diff(&Mat::identity(8)) < 1e-9);
+        assert!(vtv.max_abs_diff(&Mat::identity(8)) < 1e-9);
         // Eigenvalue sum equals trace.
         let sum: f64 = e.values.iter().sum();
-        prop_assert!((sum - a.trace()).abs() < 1e-8);
+        assert!((sum - a.trace()).abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn lu_solve_has_small_residual(
-        a in symmetric_mat(6),
-        b in proptest::collection::vec(-5.0f64..5.0, 6),
-    ) {
+#[test]
+fn lu_solve_has_small_residual() {
+    let mut rng = Rng::new(23);
+    for _ in 0..48 {
         // Shift the diagonal to keep the system well-conditioned.
-        let mut m = a.clone();
+        let mut m = random_symmetric(&mut rng, 6, -10.0, 10.0);
         for i in 0..6 {
             m[(i, i)] += 25.0;
         }
+        let b: Vec<f64> = (0..6).map(|_| rng.range(-5.0, 5.0)).collect();
         let x = solve(&m, &b).expect("diagonally dominant");
         let r = m.matvec(&x);
         for i in 0..6 {
-            prop_assert!((r[i] - b[i]).abs() < 1e-8);
+            assert!((r[i] - b[i]).abs() < 1e-8);
         }
     }
 }
 
 // ------------------------------------------------------------------ boys --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn boys_recursion_identity_holds(t in 0.0f64..120.0, m in 0usize..10) {
+#[test]
+fn boys_recursion_identity_holds() {
+    let mut rng = Rng::new(37);
+    for _ in 0..128 {
+        let t = rng.range(0.0, 120.0);
+        let m = rng.index(10);
         // (2m+1) F_m = 2T F_{m+1} + e^{-T}
         let fm = boys_single(m, t);
         let fm1 = boys_single(m + 1, t);
         let lhs = (2 * m + 1) as f64 * fm;
         let rhs = 2.0 * t * fm1 + (-t).exp();
-        prop_assert!((lhs - rhs).abs() < 1e-11 * (1.0 + lhs.abs()),
-            "recursion broken at m={m}, T={t}: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-11 * (1.0 + lhs.abs()),
+            "recursion broken at m={m}, T={t}: {lhs} vs {rhs}"
+        );
     }
+}
 
-    #[test]
-    fn boys_bounds(t in 0.0f64..200.0, m in 0usize..12) {
+#[test]
+fn boys_bounds() {
+    let mut rng = Rng::new(41);
+    for _ in 0..128 {
+        let t = rng.range(0.0, 200.0);
+        let m = rng.index(12);
         let f = boys_single(m, t);
-        prop_assert!(f > 0.0);
-        prop_assert!(f <= 1.0 / (2 * m + 1) as f64 + 1e-15, "F_m(T) <= F_m(0)");
+        assert!(f > 0.0);
+        assert!(f <= 1.0 / (2 * m + 1) as f64 + 1e-15, "F_m(T) <= F_m(0)");
     }
 }
 
 // ------------------------------------------------------------------- eri --
 
-fn arb_shell() -> impl Strategy<Value = phi_scf::chem::Shell> {
-    (
-        0usize..3,
-        0.2f64..3.0,
-        prop::array::uniform3(-1.5f64..1.5),
-    )
-        .prop_map(|(l, alpha, center)| custom_shell(0, center, vec![alpha], &[(l, vec![1.0])]))
+/// A random single-block contracted shell with l in 0..3.
+fn arb_shell(rng: &mut Rng) -> Shell {
+    let l = rng.index(3);
+    let alpha = rng.range(0.2, 3.0);
+    let center = [rng.range(-1.5, 1.5), rng.range(-1.5, 1.5), rng.range(-1.5, 1.5)];
+    custom_shell(0, center, vec![alpha], &[(l, vec![1.0])])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random shell that may be contracted (up to 3 primitives), may be a
+/// Pople composite SP shell, and may carry d functions.
+fn arb_rich_shell(rng: &mut Rng) -> Shell {
+    let nprim = 1 + rng.index(3);
+    let center = [rng.range(-1.5, 1.5), rng.range(-1.5, 1.5), rng.range(-1.5, 1.5)];
+    let exps: Vec<f64> = (0..nprim).map(|_| rng.range(0.15, 4.0)).collect();
+    let coefs = |rng: &mut Rng| -> Vec<f64> {
+        (0..nprim)
+            .map(|_| rng.range(0.2, 1.0) * if rng.unit() < 0.3 { -1.0 } else { 1.0 })
+            .collect()
+    };
+    let blocks: Vec<(usize, Vec<f64>)> = match rng.index(4) {
+        // Composite SP ("L") shell: S and P sharing exponents.
+        0 => vec![(0, coefs(rng)), (1, coefs(rng))],
+        // Pure d shell.
+        1 => vec![(2, coefs(rng))],
+        2 => vec![(0, coefs(rng))],
+        _ => vec![(1, coefs(rng))],
+    };
+    custom_shell(0, center, exps, &blocks)
+}
 
-    #[test]
-    fn eri_bra_ket_symmetry(a in arb_shell(), b in arb_shell(), c in arb_shell(), d in arb_shell()) {
+#[test]
+fn eri_bra_ket_symmetry() {
+    let mut rng = Rng::new(53);
+    for _ in 0..24 {
+        let (a, b, c, d) =
+            (arb_shell(&mut rng), arb_shell(&mut rng), arb_shell(&mut rng), arb_shell(&mut rng));
         let mut engine = EriEngine::new();
         engine.prefactor_cutoff = 0.0;
-        let (na, nb, nc, nd) =
-            (a.n_functions(), b.n_functions(), c.n_functions(), d.n_functions());
+        let (na, nb, nc, nd) = (a.n_functions(), b.n_functions(), c.n_functions(), d.n_functions());
         let mut abcd = vec![0.0; na * nb * nc * nd];
         let mut cdab = vec![0.0; na * nb * nc * nd];
         engine.shell_quartet(&a, &b, &c, &d, &mut abcd);
@@ -112,16 +168,22 @@ proptest! {
                     for id in 0..nd {
                         let v1 = abcd[((ia * nb + ib) * nc + ic) * nd + id];
                         let v2 = cdab[((ic * nd + id) * na + ia) * nb + ib];
-                        prop_assert!((v1 - v2).abs() < 1e-10 * (1.0 + v1.abs()),
-                            "(ab|cd) != (cd|ab): {v1} vs {v2}");
+                        assert!(
+                            (v1 - v2).abs() < 1e-10 * (1.0 + v1.abs()),
+                            "(ab|cd) != (cd|ab): {v1} vs {v2}"
+                        );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn eri_diagonal_quartets_are_nonnegative(a in arb_shell(), b in arb_shell()) {
+#[test]
+fn eri_diagonal_quartets_are_nonnegative() {
+    let mut rng = Rng::new(59);
+    for _ in 0..24 {
+        let (a, b) = (arb_shell(&mut rng), arb_shell(&mut rng));
         let mut engine = EriEngine::new();
         engine.prefactor_cutoff = 0.0;
         let (na, nb) = (a.n_functions(), b.n_functions());
@@ -130,62 +192,84 @@ proptest! {
         for ia in 0..na {
             for ib in 0..nb {
                 let diag = buf[((ia * nb + ib) * na + ia) * nb + ib];
-                prop_assert!(diag >= -1e-12, "diagonal ({ia},{ib}) = {diag}");
+                assert!(diag >= -1e-12, "diagonal ({ia},{ib}) = {diag}");
             }
+        }
+    }
+}
+
+/// The persistent shell-pair path must reproduce the build-on-the-fly path
+/// to tight absolute tolerance over random shells, including contracted,
+/// composite SP ("L"), and d-function blocks.
+#[test]
+fn eri_pair_cache_matches_on_the_fly() {
+    let mut rng = Rng::new(61);
+    for case in 0..40 {
+        let shells = vec![
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+        ];
+        let basis = BasisSet::from_shells(BasisName::Sto3g, shells);
+        // Keep every primitive pair so the comparison covers the full
+        // contraction space, not just the survivors.
+        let pairs = ShellPairs::build_with(&basis, 0.0);
+        let mut engine = EriEngine::new();
+        engine.prefactor_cutoff = 0.0;
+        let (a, b, c, d) = (1usize, 0usize, 3usize, 2usize);
+        let (sa, sb, sc, sd) =
+            (&basis.shells[a], &basis.shells[b], &basis.shells[c], &basis.shells[d]);
+        let len = sa.n_functions() * sb.n_functions() * sc.n_functions() * sd.n_functions();
+        let mut fly = vec![0.0; len];
+        let mut cached = vec![0.0; len];
+        engine.shell_quartet(sa, sb, sc, sd, &mut fly);
+        engine.shell_quartet_pairs(pairs.pair(a, b), pairs.pair(c, d), &mut cached);
+        for (k, (x, y)) in fly.iter().zip(&cached).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-12,
+                "case {case}, element {k}: on-the-fly {x} vs pair-cached {y}"
+            );
         }
     }
 }
 
 // ------------------------------------------------------------------ fock --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn g_build_is_linear_and_symmetric() {
+    use phi_scf::hf::fock::serial::build_g_serial;
+    use phi_scf::integrals::Screening;
 
-    #[test]
-    fn g_build_is_linear_and_symmetric(seed in 0u64..1000) {
-        use phi_scf::hf::fock::serial::build_g_serial;
-        use phi_scf::integrals::Screening;
-
-        let mol = phi_scf::chem::geom::small::hydrogen_molecule(1.4);
-        let basis = BasisSet::build(&mol, BasisName::B631g);
-        let screening = Screening::compute(&basis);
-        let n = basis.n_basis();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        };
-        let mut d = Mat::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let v = next();
-                d[(i, j)] = v;
-                d[(j, i)] = v;
-            }
-        }
-        let g1 = build_g_serial(&basis, &screening, 0.0, &d).g;
-        prop_assert!(g1.is_symmetric(1e-10));
+    let mol = phi_scf::chem::geom::small::hydrogen_molecule(1.4);
+    let basis = BasisSet::build(&mol, BasisName::B631g);
+    let pairs = ShellPairs::build(&basis);
+    let screening = Screening::from_pairs(&basis, &pairs);
+    let n = basis.n_basis();
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(77).wrapping_add(5));
+        let d = random_symmetric(&mut rng, n, -0.5, 0.5);
+        let g1 = build_g_serial(&basis, &pairs, &screening, 0.0, &d).g;
+        assert!(g1.is_symmetric(1e-10));
         let mut d2 = d.clone();
         d2.scale(2.0);
-        let g2 = build_g_serial(&basis, &screening, 0.0, &d2).g;
+        let g2 = build_g_serial(&basis, &pairs, &screening, 0.0, &d2).g;
         let mut g1x2 = g1.clone();
         g1x2.scale(2.0);
-        prop_assert!(g2.max_abs_diff(&g1x2) < 1e-9, "G not linear in D");
+        assert!(g2.max_abs_diff(&g1x2) < 1e-9, "G not linear in D");
     }
 }
 
 // -------------------------------------------------------------- runtimes --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn dynamic_worksharing_partitions_any_range(
-        n in 0usize..500,
-        threads in 1usize..6,
-        chunk in 1usize..8,
-    ) {
-        use std::sync::atomic::{AtomicU32, Ordering};
+#[test]
+fn dynamic_worksharing_partitions_any_range() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let mut rng = Rng::new(71);
+    for _ in 0..16 {
+        let n = rng.index(500);
+        let threads = 1 + rng.index(5);
+        let chunk = 1 + rng.index(7);
         let team = phi_scf::omp::Team::new(threads);
         let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
         team.parallel(|ctx| {
@@ -194,13 +278,17 @@ proptest! {
             });
         });
         for (i, h) in hits.iter().enumerate() {
-            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {} hit wrong count", i);
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} hit wrong count");
         }
     }
+}
 
-    #[test]
-    fn gsumf_matches_scalar_sum(values in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
-        let n_ranks = values.len();
+#[test]
+fn gsumf_matches_scalar_sum() {
+    let mut rng = Rng::new(83);
+    for _ in 0..16 {
+        let n_ranks = 1 + rng.index(5);
+        let values: Vec<f64> = (0..n_ranks).map(|_| rng.range(-100.0, 100.0)).collect();
         let values2 = values.clone();
         let res = phi_scf::dmpi::run_world(n_ranks, move |rank| {
             let mut v = vec![values2[rank.rank()]];
@@ -209,7 +297,7 @@ proptest! {
         });
         let want: f64 = values.iter().sum();
         for got in res.per_rank {
-            prop_assert!((got - want).abs() < 1e-10);
+            assert!((got - want).abs() < 1e-10);
         }
     }
 }

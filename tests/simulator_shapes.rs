@@ -43,10 +43,7 @@ fn smt_sweet_spot_at_two_threads_per_core() {
     // Paper §6.1: the benefit is highest for two threads per core.
     let ctx = ctx();
     let time = |threads_per_rank| {
-        let cfg = SimConfig {
-            threads_per_rank,
-            ..SimConfig::hybrid(SimAlgorithm::PrivateFock, 1)
-        };
+        let cfg = SimConfig { threads_per_rank, ..SimConfig::hybrid(SimAlgorithm::PrivateFock, 1) };
         simulate(&ctx.workload, &ctx.cost, &cfg).total_seconds
     };
     let t16 = time(16); // 64 threads = 1/core
@@ -63,12 +60,9 @@ fn smt_sweet_spot_at_two_threads_per_core() {
 fn quad_cache_is_the_best_mode_combination() {
     // Paper §6.1 conclusion: quadrant-cache suits the hybrid codes best.
     let ctx = ctx();
-    let quad_cache = simulate(
-        &ctx.workload,
-        &ctx.cost,
-        &SimConfig::hybrid(SimAlgorithm::SharedFock, 1),
-    )
-    .total_seconds;
+    let quad_cache =
+        simulate(&ctx.workload, &ctx.cost, &SimConfig::hybrid(SimAlgorithm::SharedFock, 1))
+            .total_seconds;
     for cluster in ClusterMode::ALL {
         for memory in [MemoryMode::Cache, MemoryMode::FlatDdr] {
             let cfg = SimConfig {
@@ -130,11 +124,8 @@ fn efficiency_declines_monotonically_for_private_fock() {
             .total_seconds
     };
     let t: Vec<f64> = [1usize, 4, 16, 64].iter().map(|&n| time(n)).collect();
-    let eff: Vec<f64> = [1usize, 4, 16, 64]
-        .iter()
-        .zip(&t)
-        .map(|(&n, &s)| t[0] / (s * n as f64))
-        .collect();
+    let eff: Vec<f64> =
+        [1usize, 4, 16, 64].iter().zip(&t).map(|(&n, &s)| t[0] / (s * n as f64)).collect();
     for w in eff.windows(2) {
         assert!(w[1] <= w[0] * 1.05, "efficiency must not grow with nodes: {eff:?}");
     }

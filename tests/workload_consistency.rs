@@ -6,7 +6,7 @@ use phi_scf::chem::basis::{BasisName, BasisSet};
 use phi_scf::chem::geom::small;
 use phi_scf::hf::fock::serial::build_g_serial;
 use phi_scf::integrals::screening::WorkloadStats;
-use phi_scf::integrals::Screening;
+use phi_scf::integrals::{Screening, ShellPairs};
 use phi_scf::linalg::Mat;
 
 #[test]
@@ -17,12 +17,13 @@ fn fenwick_counts_match_real_build_quartets() {
         (small::c_ring(6, 1.39), "C6"),
     ] {
         let basis = BasisSet::build(&mol, BasisName::Sto3g);
-        let screening = Screening::compute(&basis);
+        let pairs = ShellPairs::build(&basis);
+        let screening = Screening::from_pairs(&basis, &pairs);
         let tau = 1e-9;
         let stats = WorkloadStats::compute(&basis, &screening, tau);
         let n = basis.n_basis();
         let d = Mat::identity(n);
-        let build = build_g_serial(&basis, &screening, tau, &d);
+        let build = build_g_serial(&basis, &pairs, &screening, tau, &d);
         let counted = stats.surviving_quartets() as i64;
         let real = build.stats.quartets_computed as i64;
         // Quantized-bucket boundary effects only: within 1% + small slack.
@@ -41,17 +42,19 @@ fn prescreened_tasks_do_no_work_in_the_real_builder() {
     atoms.extend(small::water().translated([0.0, 0.0, 80.0]).atoms().iter().copied());
     let mol = phi_scf::chem::Molecule::neutral(atoms);
     let basis = BasisSet::build(&mol, BasisName::Sto3g);
-    let screening = Screening::compute(&basis);
+    let pairs = ShellPairs::build(&basis);
+    let screening = Screening::from_pairs(&basis, &pairs);
     let tau = 1e-10;
     let stats = WorkloadStats::compute(&basis, &screening, tau);
     assert!(stats.pairs_prescreened > 0, "distant fragments must prescreen pairs");
 
     let n = basis.n_basis();
     let d = Mat::identity(n);
-    let one = build_g_serial(&BasisSet::build(&small::water(), BasisName::Sto3g),
-        &Screening::compute(&BasisSet::build(&small::water(), BasisName::Sto3g)), tau,
-        &Mat::identity(7));
-    let two = build_g_serial(&basis, &screening, tau, &d);
+    let mono_basis = BasisSet::build(&small::water(), BasisName::Sto3g);
+    let mono_pairs = ShellPairs::build(&mono_basis);
+    let mono_screening = Screening::from_pairs(&mono_basis, &mono_pairs);
+    let one = build_g_serial(&mono_basis, &mono_pairs, &mono_screening, tau, &Mat::identity(7));
+    let two = build_g_serial(&basis, &pairs, &screening, tau, &d);
     // Schwarz keeps long-range *Coulomb* blocks (ij on fragment A | kl on
     // fragment B) — the interaction decays as 1/R, not exponentially — but
     // kills every inter-fragment *pair*. So the dimer workload grows
