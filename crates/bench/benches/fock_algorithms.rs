@@ -1,40 +1,125 @@
-//! Bench: one two-electron Fock build with each of the paper's algorithms
-//! on a real molecule. (On a single host core the parallel variants mostly
-//! measure orchestration overhead over the serial baseline; the cluster
-//! behaviour comes from phi-knlsim.)
+//! Bench: one two-electron Fock build with each of the paper's algorithms,
+//! driven two ways — through the legacy free functions and through the
+//! unified `FockBuilder` engine — to show the engine layer costs nothing
+//! on the RHF hot path. (On a single host core the parallel variants
+//! mostly measure orchestration overhead over the serial baseline; the
+//! cluster behaviour comes from phi-knlsim.)
+//!
+//! Also asserts (hard, not timed) that every DLB-driven builder reports a
+//! non-zero `dlb_calls` in its stats — the uniform counter contract.
+//!
+//! Full mode benches the C6 ring in 6-31G(d) (the calibration system);
+//! `PHI_BENCH_SMOKE=1` switches to water/6-31G so CI finishes in seconds.
+//! Pass `--json <path>` to write the legacy-vs-engine comparison, e.g.
+//! `BENCH_pr2.json`.
 
-use hf::fock::{mpi_only, private_fock, serial, shared_fock};
-use phi_bench::microbench::{black_box, Runner};
+use hf::fock::serial;
+use hf::{DensitySet, FockAlgorithm, FockContext};
+use phi_bench::microbench::{black_box, smoke_mode, Runner};
 use phi_chem::basis::{BasisName, BasisSet};
 use phi_chem::geom::small;
 use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 
+fn json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(std::path::PathBuf::from(
+                args.next().unwrap_or_else(|| "bench_fock.json".into()),
+            ));
+        }
+    }
+    None
+}
+
 fn main() {
-    let mol = small::water();
-    let basis = BasisSet::build(&mol, BasisName::B631g);
+    let (label, mol, basis_name) = if smoke_mode() {
+        ("water, 6-31G", small::water(), BasisName::B631g)
+    } else {
+        ("C6 ring, 6-31G(d)", small::c_ring(6, 1.39), BasisName::B631gd)
+    };
+    let basis = BasisSet::build(&mol, basis_name);
     let pairs = ShellPairs::build(&basis);
     let screening = Screening::from_pairs(&basis, &pairs);
+    let tau = 1e-10;
+    let ctx = FockContext::new(&basis, &pairs, &screening, tau);
     let n = basis.n_basis();
     let d = Mat::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.05 });
+    let dens = DensitySet::Restricted(&d);
 
-    let mut r = Runner::new("fock_build_water_631g");
-    r.bench("serial", || {
-        black_box(serial::build_g_serial(&basis, &pairs, &screening, 1e-10, &d).g.trace());
-    });
+    // The uniform stats contract: every DLB-driven builder must report the
+    // world-global DLB counter reads (serial reports zero).
+    for alg in [
+        FockAlgorithm::Serial,
+        FockAlgorithm::MpiOnly { n_ranks: 2 },
+        FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 2 },
+        FockAlgorithm::SharedFock { n_ranks: 1, n_threads: 2 },
+        FockAlgorithm::Distributed { n_ranks: 2 },
+    ] {
+        let gb = alg.builder().build(&ctx, &dens);
+        match alg {
+            FockAlgorithm::Serial => {
+                assert_eq!(gb.stats.dlb_calls, 0, "serial build must not touch the DLB counter")
+            }
+            _ => assert!(
+                gb.stats.dlb_calls > 0,
+                "{} reported zero dlb_calls — the uniform counter is broken",
+                alg.label()
+            ),
+        }
+    }
+
+    let mut r = Runner::new("fock_build");
+    println!("# system: {label}");
+
+    // Legacy direct path vs the engine path for the serial builder — the
+    // per-iteration Fock time these two report must agree within noise
+    // (the engine dispatches Restricted sets to the same monomorphic
+    // digestion loop).
+    let legacy = r
+        .bench("serial_legacy_fn", || {
+            black_box(serial::build_g_serial(&basis, &pairs, &screening, tau, &d).g.trace());
+        })
+        .ns_per_iter;
+    let engine = r
+        .bench("serial_engine", || {
+            black_box(FockAlgorithm::Serial.builder().build(&ctx, &dens).g.trace());
+        })
+        .ns_per_iter;
+
     r.bench("mpi_only_2ranks", || {
-        black_box(mpi_only::build_g_mpi_only(&basis, &pairs, &screening, 1e-10, &d, 2).g.trace());
+        black_box(FockAlgorithm::MpiOnly { n_ranks: 2 }.builder().build(&ctx, &dens).g.trace());
     });
     r.bench("private_fock_1x2", || {
         black_box(
-            private_fock::build_g_private_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 2)
+            FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 2 }
+                .builder()
+                .build(&ctx, &dens)
                 .g
                 .trace(),
         );
     });
     r.bench("shared_fock_1x2", || {
         black_box(
-            shared_fock::build_g_shared_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 2).g.trace(),
+            FockAlgorithm::SharedFock { n_ranks: 1, n_threads: 2 }
+                .builder()
+                .build(&ctx, &dens)
+                .g
+                .trace(),
         );
     });
+
+    let ratio = engine / legacy;
+    println!("# engine/legacy serial Fock time: {ratio:.4} (1.0 = no abstraction cost)");
+
+    if let Some(path) = json_path() {
+        let json = format!(
+            "{{\n  \"bench\": \"fock_build_engine_vs_legacy\",\n  \"system\": \"{label}\",\n  \
+             \"unit\": \"ns_per_fock_build\",\n  \"legacy_serial\": {legacy:.1},\n  \
+             \"engine_serial\": {engine:.1},\n  \"engine_over_legacy\": {ratio:.4}\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write json");
+        println!("# wrote {}", path.display());
+    }
 }

@@ -10,7 +10,7 @@
 //!    replication hierarchy on live allocations.
 
 use hf::memory_model::{Table2Row, PAPER_TABLE2_GB};
-use hf::FockAlgorithm;
+use hf::{DensitySet, FockAlgorithm, FockContext};
 use phi_chem::basis::{BasisName, BasisSet};
 use phi_chem::geom::graphene::PaperSystem;
 use phi_chem::geom::small;
@@ -88,24 +88,10 @@ fn main() {
         "Measured footprints — live tracked allocations, water/6-31G, 8-way parallel",
         &["code", "peak bytes", "vs MPI-only"],
     );
+    let ctx = FockContext::new(&basis, &pairs, &screening, 1e-10);
     let mut mpi_peak = 0usize;
     for (label, alg) in configs {
-        let gb = match alg {
-            FockAlgorithm::MpiOnly { n_ranks } => {
-                hf::fock::mpi_only::build_g_mpi_only(&basis, &pairs, &screening, 1e-10, &d, n_ranks)
-            }
-            FockAlgorithm::PrivateFock { n_ranks, n_threads } => {
-                hf::fock::private_fock::build_g_private_fock(
-                    &basis, &pairs, &screening, 1e-10, &d, n_ranks, n_threads,
-                )
-            }
-            FockAlgorithm::SharedFock { n_ranks, n_threads } => {
-                hf::fock::shared_fock::build_g_shared_fock(
-                    &basis, &pairs, &screening, 1e-10, &d, n_ranks, n_threads,
-                )
-            }
-            FockAlgorithm::Serial => unreachable!(),
-        };
+        let gb = alg.builder().build(&ctx, &DensitySet::Restricted(&d));
         if mpi_peak == 0 {
             mpi_peak = gb.stats.memory_total_peak;
         }

@@ -14,10 +14,31 @@
 pub use std::hint::black_box;
 use std::time::Instant;
 
+/// Smoke mode (set `PHI_BENCH_SMOKE=1`): shrink windows and sample counts
+/// so every bench binary runs in seconds. CI uses this to keep the benches
+/// compiling *and executing* without paying for statistically meaningful
+/// timings; numbers published in BENCH_*.json files come from full mode.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("PHI_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Minimum measurement window per timing sample.
-const WINDOW_S: f64 = 0.05;
+fn window_s() -> f64 {
+    if smoke_mode() {
+        0.002
+    } else {
+        0.05
+    }
+}
+
 /// Number of measured windows; the fastest is reported.
-const SAMPLES: usize = 3;
+fn samples() -> usize {
+    if smoke_mode() {
+        1
+    } else {
+        3
+    }
+}
 
 /// One benchmark result.
 #[derive(Clone, Debug)]
@@ -45,6 +66,7 @@ impl Runner {
     pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &Sample {
         // Warm-up and iteration-count calibration: double until one window
         // is at least WINDOW_S long.
+        let window = window_s();
         let mut iters = 1u64;
         loop {
             let start = Instant::now();
@@ -52,18 +74,18 @@ impl Runner {
                 f();
             }
             let dt = start.elapsed().as_secs_f64();
-            if dt >= WINDOW_S {
+            if dt >= window {
                 break;
             }
             // Aim directly for the window once a measurable time exists.
             iters = if dt > 1e-4 {
-                ((iters as f64 * WINDOW_S / dt).ceil() as u64).max(iters + 1)
+                ((iters as f64 * window / dt).ceil() as u64).max(iters + 1)
             } else {
                 iters * 10
             };
         }
         let mut best = f64::INFINITY;
-        for _ in 0..SAMPLES {
+        for _ in 0..samples() {
             let start = Instant::now();
             for _ in 0..iters {
                 f();

@@ -15,15 +15,16 @@
 //! replicated-then-reduced) and lets the memory/traffic trade-off be
 //! measured with the same instrumentation.
 
-use super::serial::GBuild;
-use super::{digest_quartet, kl_bounds, pair_decode, tri_to_full, FockSink};
+use super::engine::FockContext;
+use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::DistributedArray;
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
-use std::sync::Arc;
 use std::time::Instant;
+
+pub use super::GBuild;
 
 /// Canonical updates collected locally, flushed to the distributed array in
 /// row batches to amortize one-sided calls.
@@ -42,43 +43,51 @@ impl FockSink for ScatterSink {
     }
 }
 
-/// Build `G(D)` with DLB over `(i,j)` pairs and a *distributed* Fock matrix.
+/// Build the two-electron matrices for `dens` with DLB over `(i,j)` pairs
+/// and a *distributed* Fock matrix per spin channel.
 ///
 /// Each rank still shares a read-only density copy (as in the hybrid codes)
-/// but owns only `N^2 / n_ranks` elements of the Fock matrix; contributions
-/// to other ranks' rows travel as `acc` batches.
-pub fn build_g_distributed(
-    basis: &BasisSet,
-    pairs: &ShellPairs,
-    screening: &Screening,
-    tau: f64,
-    d: &Mat,
-    n_ranks: usize,
-) -> GBuild {
+/// but owns only `N^2 / n_ranks` elements of each Fock matrix;
+/// contributions to other ranks' rows travel as `acc` batches.
+pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usize) -> GBuild {
+    let basis = ctx.basis;
     let n = basis.n_basis();
     let ns = basis.n_shells();
     let n_pair = ns * (ns + 1) / 2;
-    // The distributed Fock: N x N row-major, striped over ranks.
-    let fock = Arc::new(DistributedArray::new(n * n, n_ranks));
+    let work = dens.prepare();
+    let nch = work.n_channels();
+    // The distributed Fock matrices: N x N row-major, striped over ranks,
+    // one array per spin channel.
+    let focks: Vec<DistributedArray> =
+        (0..nch).map(|_| DistributedArray::new(n * n, n_ranks)).collect();
 
     let world = phi_dmpi::run_world(n_ranks, |rank| {
         let start = Instant::now();
-        let mut d_local = rank.alloc_f64(n * n);
-        d_local.copy_from_slice(d.as_slice());
-        // Charged per rank: its stripe of the distributed Fock plus the
-        // full local scatter buffer. Versus Algorithm 1 this still drops
-        // the replicated read-only matrices and the second full Fock copy
-        // (5/2 N^2 -> ~2 N^2 words) — the distributed-data SCF trade.
-        let fock_bytes = n * n * std::mem::size_of::<f64>();
+        let mut d_local = rank.alloc_f64(nch * n * n);
+        match *dens {
+            DensitySet::Restricted(d) => d_local.copy_from_slice(d.as_slice()),
+            DensitySet::Unrestricted { alpha, beta } => {
+                d_local[..n * n].copy_from_slice(alpha.as_slice());
+                d_local[n * n..].copy_from_slice(beta.as_slice());
+            }
+        }
+        // Charged per rank and channel: its stripe of the distributed Fock
+        // plus the full local scatter buffer. Versus Algorithm 1 this still
+        // drops the replicated read-only matrices and the second full Fock
+        // copy (5/2 N^2 -> ~2 N^2 words) — the distributed-data SCF trade.
+        let fock_bytes = nch * n * n * std::mem::size_of::<f64>();
         rank.charge_bytes(fock_bytes / rank.size() + fock_bytes);
-        rank.charge_bytes(pairs.bytes());
+        rank.charge_bytes(ctx.pairs.bytes());
 
         let mut engine = EriEngine::new();
         let mut eri_buf: Vec<f64> = Vec::new();
-        let mut sink = ScatterSink { buf: vec![0.0; n * n], touched: vec![false; n], n };
+        let mut sinks: Vec<ScatterSink> = (0..nch)
+            .map(|_| ScatterSink { buf: vec![0.0; n * n], touched: vec![false; n], n })
+            .collect();
         let mut computed = 0u64;
         let mut screened = 0u64;
         let mut tasks = 0usize;
+        let mut flushes = 0u64;
 
         rank.dlb_reset();
         loop {
@@ -90,29 +99,33 @@ pub fn build_g_distributed(
             let (i, j) = pair_decode(t);
             for k in 0..=i {
                 for l in 0..=kl_bounds(i, j, k) {
-                    if !screening.survives(i, j, k, l, tau) {
+                    if !ctx.screening.survives(i, j, k, l, ctx.tau) {
                         screened += 1;
                         continue;
                     }
-                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
+                    let (bra, ket) = (ctx.pairs.pair(i, j), ctx.pairs.pair(k, l));
                     eri_buf.clear();
                     eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
                     engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
-                    digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
+                    digest_quartet_dens(basis, i, j, k, l, &eri_buf, &work, &mut sinks);
                     computed += 1;
                 }
             }
             // Periodically flush touched rows so the scatter buffer does not
             // hold the whole matrix hot (every 32 tasks).
             if tasks.is_multiple_of(32) {
-                flush_rows(&fock, rank.rank(), &mut sink);
+                for (fock, sink) in focks.iter().zip(&mut sinks) {
+                    flushes += flush_rows(fock, rank.rank(), sink);
+                }
             }
         }
-        flush_rows(&fock, rank.rank(), &mut sink);
+        for (fock, sink) in focks.iter().zip(&mut sinks) {
+            flushes += flush_rows(fock, rank.rank(), sink);
+        }
         // Everyone must finish accumulating before anyone reads.
         rank.barrier();
         rank.release_bytes(fock_bytes / rank.size() + fock_bytes);
-        rank.release_bytes(pairs.bytes());
+        rank.release_bytes(ctx.pairs.bytes());
 
         (
             FockBuildStats {
@@ -121,9 +134,10 @@ pub fn build_g_distributed(
                 quartets_screened: screened,
                 prim_quartets: engine.prim_quartets_computed(),
                 dlb_tasks: tasks,
+                flushes,
                 ..Default::default()
             },
-            fock.remote_traffic_bytes(),
+            focks.iter().map(|f| f.remote_traffic_bytes()).sum::<u64>(),
         )
     });
 
@@ -135,19 +149,43 @@ pub fn build_g_distributed(
     }
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
-    // Read the assembled lower triangle back out.
-    let mut buf = vec![0.0; n * n];
-    fock.get(0, 0, &mut buf);
-    let mut g = tri_to_full(&buf, n);
-    g.symmetrize();
+    stats.dlb_calls = world.dlb_calls;
+    // Read the assembled lower triangles back out.
+    let mats = focks
+        .iter()
+        .map(|fock| {
+            let mut buf = vec![0.0; n * n];
+            fock.get(0, 0, &mut buf);
+            let mut g = tri_to_full(&buf, n);
+            g.symmetrize();
+            g
+        })
+        .collect();
     let _ = remote_bytes; // surfaced via DistributedArray for callers/tests
-    GBuild { g, stats }
+    GBuild::from_channels(mats, stats)
+}
+
+/// Restricted convenience wrapper over [`build_distributed`].
+pub fn build_g_distributed(
+    basis: &BasisSet,
+    pairs: &ShellPairs,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+    n_ranks: usize,
+) -> GBuild {
+    build_distributed(
+        &FockContext::new(basis, pairs, screening, tau),
+        &DensitySet::Restricted(d),
+        n_ranks,
+    )
 }
 
 /// Flush every touched row of the scatter buffer into the distributed
-/// array and clear it.
-fn flush_rows(fock: &DistributedArray, rank: usize, sink: &mut ScatterSink) {
+/// array and clear it; returns the number of row segments accumulated.
+fn flush_rows(fock: &DistributedArray, rank: usize, sink: &mut ScatterSink) -> u64 {
     let n = sink.n;
+    let mut flushed = 0u64;
     for row in 0..n {
         if !sink.touched[row] {
             continue;
@@ -158,8 +196,10 @@ fn flush_rows(fock: &DistributedArray, rank: usize, sink: &mut ScatterSink) {
         if seg.iter().any(|&v| v != 0.0) {
             fock.acc(rank, row * n, seg);
             seg.iter_mut().for_each(|v| *v = 0.0);
+            flushed += 1;
         }
     }
+    flushed
 }
 
 #[cfg(test)]
@@ -196,6 +236,8 @@ mod tests {
                 "{n_ranks} ranks: diff {}",
                 got.g.max_abs_diff(&want)
             );
+            // Every rank flushes its scatter rows at least once.
+            assert!(got.stats.flushes > 0);
         }
     }
 

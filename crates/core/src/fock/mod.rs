@@ -21,11 +21,13 @@
 //! canonical bound and note the typo here.
 
 pub mod distributed;
+pub mod engine;
 pub mod mpi_only;
 pub mod private_fock;
 pub mod serial;
 pub mod shared_fock;
 
+use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
@@ -41,6 +43,9 @@ pub enum FockAlgorithm {
     PrivateFock { n_ranks: usize, n_threads: usize },
     /// Algorithm 3: hybrid, density and Fock both shared per rank.
     SharedFock { n_ranks: usize, n_threads: usize },
+    /// Related-work baseline: Fock distributed over ranks (one-sided
+    /// accumulates), never replicated or reduced.
+    Distributed { n_ranks: usize },
 }
 
 impl FockAlgorithm {
@@ -50,6 +55,91 @@ impl FockAlgorithm {
             FockAlgorithm::MpiOnly { .. } => "MPI-only",
             FockAlgorithm::PrivateFock { .. } => "private Fock",
             FockAlgorithm::SharedFock { .. } => "shared Fock",
+            FockAlgorithm::Distributed { .. } => "distributed",
+        }
+    }
+}
+
+/// Result of one two-electron Fock build, spin-generalized: restricted
+/// builds fill `g` only; unrestricted builds fill `g` with the alpha
+/// channel and `g_beta` with the beta channel.
+pub struct GBuild {
+    /// The two-electron contribution `G` (full symmetric matrix): the RHF
+    /// `G(D)`, or the alpha-spin `G_alpha = J(D_t) - K(D_alpha)` of a UHF
+    /// build.
+    pub g: Mat,
+    /// The beta-spin channel of a UHF build; `None` for restricted builds.
+    pub g_beta: Option<Mat>,
+    pub stats: FockBuildStats,
+}
+
+impl GBuild {
+    /// Wrap a restricted (single-channel) result.
+    pub fn restricted(g: Mat, stats: FockBuildStats) -> GBuild {
+        GBuild { g, g_beta: None, stats }
+    }
+
+    /// Assemble from per-channel matrices (one = restricted, two = UHF
+    /// alpha/beta).
+    pub fn from_channels(mats: Vec<Mat>, stats: FockBuildStats) -> GBuild {
+        let mut it = mats.into_iter();
+        let g = it.next().expect("at least one spin channel");
+        GBuild { g, g_beta: it.next(), stats }
+    }
+}
+
+/// Spin-generalized density input for one Fock build.
+///
+/// Every builder consumes this and produces the matching [`GBuild`]:
+///
+/// * `Restricted(D)` — closed-shell RHF; the output is
+///   `G = J(D) - K(D)/2`.
+/// * `Unrestricted { alpha, beta }` — the UHF spin densities (each without
+///   the RHF factor of 2); the outputs are `G_s = J(D_a + D_b) - K(D_s)`
+///   for `s` in alpha, beta — exactly the two-electron parts of the UHF
+///   spin Fock matrices `F_s = H + G_s`. Every ERI is computed once and
+///   digested into both spin channels, which is the generalization the
+///   paper's conclusion points at ("UHF, GVB, DFT, CPHF all have this
+///   structure").
+#[derive(Clone, Copy)]
+pub enum DensitySet<'a> {
+    Restricted(&'a Mat),
+    Unrestricted { alpha: &'a Mat, beta: &'a Mat },
+}
+
+impl<'a> DensitySet<'a> {
+    /// Number of spin channels (1 restricted, 2 unrestricted).
+    pub fn n_channels(&self) -> usize {
+        match self {
+            DensitySet::Restricted(_) => 1,
+            DensitySet::Unrestricted { .. } => 2,
+        }
+    }
+
+    /// Precompute the per-build digestion data (the UHF Coulomb source
+    /// `D_total = D_alpha + D_beta`). Called once per build, outside the
+    /// quartet loops.
+    pub(crate) fn prepare(&self) -> DensityWork<'a> {
+        match *self {
+            DensitySet::Restricted(d) => DensityWork::Restricted(d),
+            DensitySet::Unrestricted { alpha, beta } => {
+                DensityWork::Unrestricted { total: alpha.add(beta), alpha, beta }
+            }
+        }
+    }
+}
+
+/// Prepared per-build density data: what the digestion loops actually read.
+pub(crate) enum DensityWork<'a> {
+    Restricted(&'a Mat),
+    Unrestricted { total: Mat, alpha: &'a Mat, beta: &'a Mat },
+}
+
+impl DensityWork<'_> {
+    pub(crate) fn n_channels(&self) -> usize {
+        match self {
+            DensityWork::Restricted(_) => 1,
+            DensityWork::Unrestricted { .. } => 2,
         }
     }
 }
@@ -57,17 +147,6 @@ impl FockAlgorithm {
 /// Destination of canonical Fock updates (`mu >= nu` always).
 pub trait FockSink {
     fn add(&mut self, mu: usize, nu: usize, v: f64);
-}
-
-impl FockSink for [f64] {
-    #[inline]
-    fn add(&mut self, mu: usize, nu: usize, v: f64) {
-        // Lower-triangular element of an n x n row-major buffer; n is
-        // implied by the caller always passing mu >= nu and a square buffer.
-        let n = (self.len() as f64).sqrt() as usize;
-        debug_assert_eq!(n * n, self.len());
-        self[mu * n + nu] += v;
-    }
 }
 
 /// A plain lower-triangle sink over a square row-major buffer with known
@@ -131,6 +210,113 @@ pub fn digest_quartet(
                         continue;
                     }
                     digest_value(mu, nu, lam, sig, x, d, sink);
+                }
+            }
+        }
+    }
+}
+
+/// Digest one canonical shell quartet into every spin channel of a
+/// prepared [`DensityWork`], one sink per channel.
+///
+/// Restricted input routes through the monomorphic RHF fast path
+/// ([`digest_quartet`]) so the closed-shell hot loop is byte-for-byte the
+/// pre-engine code; unrestricted input walks the same orbit once, reading
+/// the total density for Coulomb and the per-spin densities for exchange.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn digest_quartet_dens<S: FockSink>(
+    basis: &BasisSet,
+    si: usize,
+    sj: usize,
+    sk: usize,
+    sl: usize,
+    quartet: &[f64],
+    dens: &DensityWork<'_>,
+    sinks: &mut [S],
+) {
+    match dens {
+        DensityWork::Restricted(d) => {
+            digest_quartet(basis, si, sj, sk, sl, quartet, d, &mut sinks[0])
+        }
+        DensityWork::Unrestricted { total, alpha, beta } => {
+            let (sa, sb) = sinks.split_at_mut(1);
+            digest_quartet_uhf(
+                basis, si, sj, sk, sl, quartet, total, alpha, beta, &mut sa[0], &mut sb[0],
+            )
+        }
+    }
+}
+
+/// UHF digestion of one canonical quartet: per unique integral,
+/// `G_s[ab] += D_t[ce] * X` (Coulomb, both spins) and
+/// `G_s[ac] -= X * D_s[be]` (exchange, per spin, full factor — no RHF 1/2).
+#[allow(clippy::too_many_arguments)]
+fn digest_quartet_uhf<SA: FockSink, SB: FockSink>(
+    basis: &BasisSet,
+    si: usize,
+    sj: usize,
+    sk: usize,
+    sl: usize,
+    quartet: &[f64],
+    d_total: &Mat,
+    d_alpha: &Mat,
+    d_beta: &Mat,
+    sink_a: &mut SA,
+    sink_b: &mut SB,
+) {
+    let sh_i = &basis.shells[si];
+    let sh_j = &basis.shells[sj];
+    let sh_k = &basis.shells[sk];
+    let sh_l = &basis.shells[sl];
+    let (ni, nj, nk, nl) =
+        (sh_i.n_functions(), sh_j.n_functions(), sh_k.n_functions(), sh_l.n_functions());
+    let (fi, fj, fk, fl) = (sh_i.first_bf, sh_j.first_bf, sh_k.first_bf, sh_l.first_bf);
+    let same_ij = si == sj;
+    let same_kl = sk == sl;
+    let same_pair = si == sk && sj == sl;
+
+    for a in 0..ni {
+        let mu = fi + a;
+        let b_hi = if same_ij { a + 1 } else { nj };
+        for b in 0..b_hi {
+            let nu = fj + b;
+            let munu = mu * (mu + 1) / 2 + nu;
+            for c in 0..nk {
+                let lam = fk + c;
+                let d_hi = if same_kl { c + 1 } else { nl };
+                for dd in 0..d_hi {
+                    let sig = fl + dd;
+                    if same_pair && lam * (lam + 1) / 2 + sig > munu {
+                        continue;
+                    }
+                    let x = quartet[((a * nj + b) * nk + c) * nl + dd];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let orbit = [
+                        (mu, nu, lam, sig),
+                        (nu, mu, lam, sig),
+                        (mu, nu, sig, lam),
+                        (nu, mu, sig, lam),
+                        (lam, sig, mu, nu),
+                        (sig, lam, mu, nu),
+                        (lam, sig, nu, mu),
+                        (sig, lam, nu, mu),
+                    ];
+                    for (idx, &(p, q, r, s)) in orbit.iter().enumerate() {
+                        if orbit[..idx].contains(&(p, q, r, s)) {
+                            continue;
+                        }
+                        if p >= q {
+                            let j = d_total[(r, s)] * x;
+                            sink_a.add(p, q, j);
+                            sink_b.add(p, q, j);
+                        }
+                        if p >= r {
+                            sink_a.add(p, r, -x * d_alpha[(q, s)]);
+                            sink_b.add(p, r, -x * d_beta[(q, s)]);
+                        }
+                    }
                 }
             }
         }

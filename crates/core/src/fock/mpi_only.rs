@@ -1,22 +1,24 @@
 //! Algorithm 1: the stock GAMESS MPI-only Fock build.
 //!
-//! Every rank replicates the density matrix, overlap matrix, MO
-//! coefficients and its own Fock accumulation buffer. Work is distributed
+//! Every rank replicates the density matrices, overlap matrix, MO
+//! coefficients and its own Fock accumulation buffers. Work is distributed
 //! by the global DLB counter over `(i, j)` shell-pair tasks; each task runs
-//! the full canonical `(k, l)` loops. The final Fock matrix is summed over
-//! ranks with `gsumf`.
+//! the full canonical `(k, l)` loops. The final Fock matrices are summed
+//! over ranks with `gsumf`.
 //!
 //! The memory pathology the paper attacks is visible here by construction:
 //! the replicated matrices are *really allocated* per rank through the
 //! tracker, so the returned report scales linearly with the rank count.
 
-use super::serial::GBuild;
-use super::{digest_quartet, kl_bounds, pair_decode, tri_to_full, TriSink};
+use super::engine::FockContext;
+use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
+
+pub use super::GBuild;
 
 /// Bytes of replicated read-only matrices a real GAMESS process carries
 /// besides D and F: overlap S, core Hamiltonian H, and MO coefficients C.
@@ -25,30 +27,34 @@ fn replicated_readonly_bytes(n: usize) -> usize {
     3 * n * n * std::mem::size_of::<f64>()
 }
 
-/// Build `G(D)` with Algorithm 1 over `n_ranks` ranks.
-pub fn build_g_mpi_only(
-    basis: &BasisSet,
-    pairs: &ShellPairs,
-    screening: &Screening,
-    tau: f64,
-    d: &Mat,
-    n_ranks: usize,
-) -> GBuild {
+/// Build the two-electron matrices for `dens` with Algorithm 1 over
+/// `n_ranks` ranks.
+pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usize) -> GBuild {
+    let basis = ctx.basis;
     let n = basis.n_basis();
     let ns = basis.n_shells();
     let n_pair = ns * (ns + 1) / 2;
+    let work = dens.prepare();
+    let nch = work.n_channels();
 
     let world = phi_dmpi::run_world(n_ranks, |rank| {
         let start = Instant::now();
         // Replicated data structures, one full set per rank (the paper's
-        // memory bottleneck).
-        let mut d_local = rank.alloc_f64(n * n);
-        d_local.copy_from_slice(d.as_slice());
+        // memory bottleneck): every spin-channel density plus the
+        // read-only matrices.
+        let mut d_local = rank.alloc_f64(nch * n * n);
+        match *dens {
+            DensitySet::Restricted(d) => d_local.copy_from_slice(d.as_slice()),
+            DensitySet::Unrestricted { alpha, beta } => {
+                d_local[..n * n].copy_from_slice(alpha.as_slice());
+                d_local[n * n..].copy_from_slice(beta.as_slice());
+            }
+        }
         rank.charge_bytes(replicated_readonly_bytes(n));
         // The shell-pair dataset: one read-only copy per MPI process (in a
         // real multi-process run each rank materializes its own).
-        rank.charge_bytes(pairs.bytes());
-        let mut fock = rank.alloc_f64(n * n);
+        rank.charge_bytes(ctx.pairs.bytes());
+        let mut fock = rank.alloc_f64(nch * n * n);
 
         let mut engine = EriEngine::new();
         let mut eri_buf: Vec<f64> = Vec::new();
@@ -57,35 +63,39 @@ pub fn build_g_mpi_only(
         let mut tasks = 0usize;
 
         rank.dlb_reset();
-        loop {
-            let t = rank.dlb_next();
-            if t >= n_pair {
-                break;
-            }
-            tasks += 1;
-            let (i, j) = pair_decode(t);
-            for k in 0..=i {
-                for l in 0..=kl_bounds(i, j, k) {
-                    if !screening.survives(i, j, k, l, tau) {
-                        screened += 1;
-                        continue;
+        {
+            let mut sinks: Vec<TriSink<'_>> =
+                fock.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+            loop {
+                let t = rank.dlb_next();
+                if t >= n_pair {
+                    break;
+                }
+                tasks += 1;
+                let (i, j) = pair_decode(t);
+                for k in 0..=i {
+                    for l in 0..=kl_bounds(i, j, k) {
+                        if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                            screened += 1;
+                            continue;
+                        }
+                        let (bra, ket) = (ctx.pairs.pair(i, j), ctx.pairs.pair(k, l));
+                        eri_buf.clear();
+                        eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                        engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
+                        digest_quartet_dens(basis, i, j, k, l, &eri_buf, &work, &mut sinks);
+                        computed += 1;
                     }
-                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
-                    eri_buf.clear();
-                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
-                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
-                    let mut sink = TriSink { buf: &mut fock, n };
-                    digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
-                    computed += 1;
                 }
             }
         }
 
-        // 2e-Fock matrix reduction over MPI ranks (Algorithm 1 line 16).
+        // 2e-Fock matrix reduction over MPI ranks (Algorithm 1 line 16) —
+        // one collective covering every spin channel.
         rank.gsumf(&mut fock);
 
         rank.release_bytes(replicated_readonly_bytes(n));
-        rank.release_bytes(pairs.bytes());
+        rank.release_bytes(ctx.pairs.bytes());
         let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
         (
             result,
@@ -110,7 +120,25 @@ pub fn build_g_mpi_only(
     }
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
-    GBuild { g: tri_to_full(&g_buf.expect("rank 0 returns the reduced Fock"), n), stats }
+    stats.dlb_calls = world.dlb_calls;
+    let bufs = g_buf.expect("rank 0 returns the reduced Fock");
+    GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
+}
+
+/// Restricted convenience wrapper over [`build_mpi_only`].
+pub fn build_g_mpi_only(
+    basis: &BasisSet,
+    pairs: &ShellPairs,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+    n_ranks: usize,
+) -> GBuild {
+    build_mpi_only(
+        &FockContext::new(basis, pairs, screening, tau),
+        &DensitySet::Restricted(d),
+        n_ranks,
+    )
 }
 
 #[cfg(test)]
@@ -158,6 +186,9 @@ mod tests {
         let ns = b.n_shells();
         let p = ns * (ns + 1) / 2;
         assert_eq!(out.stats.dlb_tasks, p, "every ij pair is one task");
+        // Each counter call hands out one task; every rank also makes one
+        // final out-of-range call before leaving the loop.
+        assert_eq!(out.stats.dlb_calls, p + 3);
         // Quartet totals match the serial enumeration.
         let serial = build_g_serial(&b, &pairs, &s, 1e-12, &d);
         assert_eq!(

@@ -2,15 +2,15 @@
 //!
 //! Per rank, all read-only matrices (density, overlap, core Hamiltonian)
 //! exist once and are shared by the team's threads; only the Fock
-//! accumulation buffer is replicated per thread (the OpenMP
+//! accumulation buffers are replicated per thread (the OpenMP
 //! `reduction(+ : Fock)` clause of the paper's listing). The MPI DLB runs
 //! over the `i` shell index; within a task the merged `(j, k)` loops are
 //! workshared with `collapse(2) schedule(dynamic,1)`, which enlarges the
 //! task pool from `i` iterations to `(i+1)^2` and fixes the load imbalance
 //! the paper attributes to two-index MPI parallelization.
 
-use super::serial::GBuild;
-use super::{digest_quartet, kl_bounds, tri_to_full, TriSink};
+use super::engine::FockContext;
+use super::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_integrals::{EriEngine, Screening, ShellPairs};
@@ -19,79 +19,93 @@ use phi_omp::{Schedule, Team};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub use super::GBuild;
+
 /// Replicated read-only matrices per *rank* (S, H, C) — one set per rank,
 /// not per thread, which is the first memory win over Algorithm 1.
 fn replicated_readonly_bytes(n: usize) -> usize {
     3 * n * n * std::mem::size_of::<f64>()
 }
 
-/// Build `G(D)` with Algorithm 2 over `n_ranks` ranks x `n_threads` threads.
-pub fn build_g_private_fock(
-    basis: &BasisSet,
-    pairs: &ShellPairs,
-    screening: &Screening,
-    tau: f64,
-    d: &Mat,
+/// Build the two-electron matrices for `dens` with Algorithm 2 over
+/// `n_ranks` ranks x `n_threads` threads.
+pub fn build_private_fock(
+    ctx: &FockContext<'_>,
+    dens: &DensitySet<'_>,
     n_ranks: usize,
     n_threads: usize,
 ) -> GBuild {
+    let basis = ctx.basis;
     let n = basis.n_basis();
     let ns = basis.n_shells();
+    let work = dens.prepare();
+    let nch = work.n_channels();
 
     let world = phi_dmpi::run_world(n_ranks, |rank| {
         let start = Instant::now();
-        // One shared density copy per rank (threads read it concurrently).
-        let mut d_rank = rank.alloc_f64(n * n);
-        d_rank.copy_from_slice(d.as_slice());
+        // One shared copy of each spin-channel density per rank (threads
+        // read them concurrently).
+        let mut d_rank = rank.alloc_f64(nch * n * n);
+        match *dens {
+            DensitySet::Restricted(d) => d_rank.copy_from_slice(d.as_slice()),
+            DensitySet::Unrestricted { alpha, beta } => {
+                d_rank[..n * n].copy_from_slice(alpha.as_slice());
+                d_rank[n * n..].copy_from_slice(beta.as_slice());
+            }
+        }
         rank.charge_bytes(replicated_readonly_bytes(n));
         // One shell-pair dataset per rank, shared read-only by the team's
         // threads (never replicated per thread).
-        rank.charge_bytes(pairs.bytes());
+        rank.charge_bytes(ctx.pairs.bytes());
 
         let team = Team::new(n_threads);
         let current_i = AtomicUsize::new(0);
         rank.dlb_reset();
 
-        let thread_results = team.parallel(|ctx| {
-            // Thread-private Fock matrix — the replication this algorithm
-            // still pays for (charged to the rank's footprint).
-            rank.charge_bytes(n * n * std::mem::size_of::<f64>());
-            let mut fock = vec![0.0; n * n];
+        let thread_results = team.parallel(|tctx| {
+            // Thread-private Fock matrices (one per spin channel) — the
+            // replication this algorithm still pays for (charged to the
+            // rank's footprint).
+            rank.charge_bytes(nch * n * n * std::mem::size_of::<f64>());
+            let mut fock = vec![0.0; nch * n * n];
             let mut engine = EriEngine::new();
             let mut eri_buf: Vec<f64> = Vec::new();
             let mut computed = 0u64;
             let mut screened = 0u64;
             let mut tasks = 0usize;
 
-            loop {
-                // Master pulls the next i index (Algorithm 2 lines 3-6).
-                ctx.master(|| current_i.store(rank.dlb_next(), Ordering::SeqCst));
-                ctx.barrier();
-                let i = current_i.load(Ordering::SeqCst);
-                if i >= ns {
-                    break;
-                }
-                if ctx.is_master() {
-                    tasks += 1;
-                }
-                // Merged (j, k) loops, workshared dynamically (lines 7-20).
-                ctx.collapse2(i + 1, i + 1, Schedule::dynamic1(), |j, k| {
-                    for l in 0..=kl_bounds(i, j, k) {
-                        if !screening.survives(i, j, k, l, tau) {
-                            screened += 1;
-                            continue;
-                        }
-                        let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
-                        eri_buf.clear();
-                        eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
-                        engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
-                        let mut sink = TriSink { buf: &mut fock, n };
-                        digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
-                        computed += 1;
+            {
+                let mut sinks: Vec<TriSink<'_>> =
+                    fock.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+                loop {
+                    // Master pulls the next i index (Algorithm 2 lines 3-6).
+                    tctx.master(|| current_i.store(rank.dlb_next(), Ordering::SeqCst));
+                    tctx.barrier();
+                    let i = current_i.load(Ordering::SeqCst);
+                    if i >= ns {
+                        break;
                     }
-                });
-                // collapse2 ends with the implicit barrier; the master then
-                // pulls the next task.
+                    if tctx.is_master() {
+                        tasks += 1;
+                    }
+                    // Merged (j, k) loops, workshared dynamically (lines 7-20).
+                    tctx.collapse2(i + 1, i + 1, Schedule::dynamic1(), |j, k| {
+                        for l in 0..=kl_bounds(i, j, k) {
+                            if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                                screened += 1;
+                                continue;
+                            }
+                            let (bra, ket) = (ctx.pairs.pair(i, j), ctx.pairs.pair(k, l));
+                            eri_buf.clear();
+                            eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                            engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
+                            digest_quartet_dens(basis, i, j, k, l, &eri_buf, &work, &mut sinks);
+                            computed += 1;
+                        }
+                    });
+                    // collapse2 ends with the implicit barrier; the master
+                    // then pulls the next task.
+                }
             }
 
             let stats = FockBuildStats {
@@ -105,7 +119,7 @@ pub fn build_g_private_fock(
         });
 
         // OpenMP reduction(+ : Fock): sum the thread-private copies.
-        let mut fock = rank.alloc_f64(n * n);
+        let mut fock = rank.alloc_f64(nch * n * n);
         let mut stats = FockBuildStats::default();
         for (tf, ts) in &thread_results {
             for (dst, src) in fock.iter_mut().zip(tf) {
@@ -113,12 +127,12 @@ pub fn build_g_private_fock(
             }
             stats = FockBuildStats::merge(stats, ts);
         }
-        rank.release_bytes(n_threads * n * n * std::mem::size_of::<f64>());
+        rank.release_bytes(n_threads * nch * n * n * std::mem::size_of::<f64>());
 
         // 2e-Fock matrix reduction over MPI (line 23).
         rank.gsumf(&mut fock);
         rank.release_bytes(replicated_readonly_bytes(n));
-        rank.release_bytes(pairs.bytes());
+        rank.release_bytes(ctx.pairs.bytes());
         stats.seconds = start.elapsed().as_secs_f64();
         let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
         (result, stats)
@@ -134,7 +148,27 @@ pub fn build_g_private_fock(
     }
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
-    GBuild { g: tri_to_full(&g_buf.expect("rank 0 returns the reduced Fock"), n), stats }
+    stats.dlb_calls = world.dlb_calls;
+    let bufs = g_buf.expect("rank 0 returns the reduced Fock");
+    GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
+}
+
+/// Restricted convenience wrapper over [`build_private_fock`].
+pub fn build_g_private_fock(
+    basis: &BasisSet,
+    pairs: &ShellPairs,
+    screening: &Screening,
+    tau: f64,
+    d: &Mat,
+    n_ranks: usize,
+    n_threads: usize,
+) -> GBuild {
+    build_private_fock(
+        &FockContext::new(basis, pairs, screening, tau),
+        &DensitySet::Restricted(d),
+        n_ranks,
+        n_threads,
+    )
 }
 
 #[cfg(test)]

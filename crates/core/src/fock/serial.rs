@@ -2,25 +2,76 @@
 //! on a single thread, no MPI, no OpenMP. Ground truth for the parallel
 //! builders and the baseline for workload statistics.
 
-use super::{digest_quartet, kl_bounds, tri_to_full, TriSink};
+use super::engine::FockContext;
+use super::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, TriSink};
+// Re-exported here for backward compatibility: `GBuild` predates the
+// unified engine layer and used to live in this module.
+pub use super::GBuild;
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
-/// Result of one two-electron Fock build.
-pub struct GBuild {
-    /// The two-electron contribution `G` (full symmetric matrix).
-    pub g: Mat,
-    pub stats: FockBuildStats,
+/// Build the two-electron matrices for a [`DensitySet`] with the serial
+/// canonical loops: `G(D)` for a restricted set, `G_alpha`/`G_beta` for an
+/// unrestricted one — every surviving ERI evaluated once and digested into
+/// every spin channel.
+pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
+    let start = Instant::now();
+    let basis = ctx.basis;
+    let work = dens.prepare();
+    let nch = work.n_channels();
+    let n = basis.n_basis();
+    let ns = basis.n_shells();
+    let mut bufs = vec![0.0; nch * n * n];
+    let mut engine = EriEngine::new();
+    let mut quartets_computed = 0u64;
+    let mut quartets_screened = 0u64;
+    let mut eri_buf: Vec<f64> = Vec::new();
+
+    {
+        let mut sinks: Vec<TriSink<'_>> =
+            bufs.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+        for i in 0..ns {
+            for j in 0..=i {
+                for k in 0..=i {
+                    for l in 0..=kl_bounds(i, j, k) {
+                        if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                            quartets_screened += 1;
+                            continue;
+                        }
+                        let (bra, ket) = (ctx.pairs.pair(i, j), ctx.pairs.pair(k, l));
+                        eri_buf.clear();
+                        eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                        engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
+                        digest_quartet_dens(basis, i, j, k, l, &eri_buf, &work, &mut sinks);
+                        quartets_computed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mats = bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect();
+    GBuild::from_channels(
+        mats,
+        FockBuildStats {
+            seconds: start.elapsed().as_secs_f64(),
+            quartets_computed,
+            quartets_screened,
+            prim_quartets: engine.prim_quartets_computed(),
+            ..Default::default()
+        },
+    )
 }
 
 /// Build a generalized two-electron matrix
 /// `M_{mu nu} = cj * J(D)_{mu nu} + |ck| * sign(ck) * K(D)_{mu nu}`
 /// with the serial canonical loops. `(1, -0.5)` recovers the RHF `G`;
 /// `(1, 0)` gives pure Coulomb, `(0, -1)` gives `-K` — the building blocks
-/// of the UHF spin Fock matrices.
+/// of the UHF spin Fock matrices (and the reference the unified
+/// unrestricted digestion is tested against).
 pub fn build_jk_serial(
     basis: &BasisSet,
     pairs: &ShellPairs,
@@ -96,21 +147,22 @@ pub fn build_jk_serial(
         }
     }
     let g = tri_to_full(&buf, n);
-    GBuild {
+    GBuild::restricted(
         g,
-        stats: FockBuildStats {
+        FockBuildStats {
             seconds: start.elapsed().as_secs_f64(),
             quartets_computed,
             quartets_screened,
             prim_quartets: engine.prim_quartets_computed(),
             ..Default::default()
         },
-    }
+    )
 }
 
-/// Build `G(D)` with the serial canonical loops. The quartet-independent
-/// pair data (E tables, product centers, prefactors, folded normalization)
-/// comes from the shared read-only `pairs` dataset.
+/// Build `G(D)` with the serial canonical loops (restricted convenience
+/// wrapper over [`build_serial`]). The quartet-independent pair data
+/// (E tables, product centers, prefactors, folded normalization) comes
+/// from the shared read-only `pairs` dataset.
 pub fn build_g_serial(
     basis: &BasisSet,
     pairs: &ShellPairs,
@@ -118,48 +170,7 @@ pub fn build_g_serial(
     tau: f64,
     d: &Mat,
 ) -> GBuild {
-    let start = Instant::now();
-    let n = basis.n_basis();
-    let ns = basis.n_shells();
-    let mut buf = vec![0.0; n * n];
-    let mut engine = EriEngine::new();
-    let mut quartets_computed = 0u64;
-    let mut quartets_screened = 0u64;
-    let mut eri_buf: Vec<f64> = Vec::new();
-
-    for i in 0..ns {
-        for j in 0..=i {
-            for k in 0..=i {
-                for l in 0..=kl_bounds(i, j, k) {
-                    if !screening.survives(i, j, k, l, tau) {
-                        quartets_screened += 1;
-                        continue;
-                    }
-                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
-                    eri_buf.clear();
-                    eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
-                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
-                    let mut sink = TriSink { buf: &mut buf, n };
-                    digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
-                    quartets_computed += 1;
-                }
-            }
-        }
-    }
-
-    let g = tri_to_full(&buf, n);
-    GBuild {
-        g,
-        stats: FockBuildStats {
-            seconds: start.elapsed().as_secs_f64(),
-            quartets_computed,
-            quartets_screened,
-            prim_quartets: engine.prim_quartets_computed(),
-            dlb_tasks: 0,
-            memory_total_peak: 0,
-            per_rank_peak: vec![],
-        },
-    }
+    build_serial(&FockContext::new(basis, pairs, screening, tau), &DensitySet::Restricted(d))
 }
 
 #[cfg(test)]
@@ -216,5 +227,46 @@ mod tests {
         );
         assert!(out.stats.quartets_computed > 0);
         assert!(out.stats.prim_quartets > 0);
+    }
+
+    #[test]
+    fn unrestricted_channels_match_jk_recombination() {
+        // The single-pass UHF digestion must reproduce the three-pass
+        // reference: G_s = J(D_a + D_b) - K(D_s).
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let n = b.n_basis();
+        let (pairs, s) = pairs_and_screening(&b);
+        let d_a = Mat::from_fn(n, n, |i, j| {
+            let (i, j) = if i >= j { (i, j) } else { (j, i) };
+            0.15 + ((i * 3 + j) % 5) as f64 * 0.06
+        });
+        let d_b = Mat::from_fn(n, n, |i, j| {
+            let (i, j) = if i >= j { (i, j) } else { (j, i) };
+            0.1 + ((i + 2 * j) % 7) as f64 * 0.04
+        });
+        let d_t = d_a.add(&d_b);
+        let ctx = FockContext::new(&b, &pairs, &s, 0.0);
+        let got = build_serial(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b });
+        let j_t = build_jk_serial(&b, &pairs, &s, 0.0, &d_t, 1.0, 0.0).g;
+        let k_a = build_jk_serial(&b, &pairs, &s, 0.0, &d_a, 0.0, -1.0).g;
+        let k_b = build_jk_serial(&b, &pairs, &s, 0.0, &d_b, 0.0, -1.0).g;
+        let want_a = j_t.add(&k_a);
+        let want_b = j_t.add(&k_b);
+        let got_b = got.g_beta.expect("unrestricted build has a beta channel");
+        assert!(got.g.max_abs_diff(&want_a) < 1e-11, "alpha {}", got.g.max_abs_diff(&want_a));
+        assert!(got_b.max_abs_diff(&want_b) < 1e-11, "beta {}", got_b.max_abs_diff(&want_b));
+    }
+
+    #[test]
+    fn restricted_density_set_matches_legacy_wrapper() {
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let n = b.n_basis();
+        let d = Mat::from_fn(n, n, |i, j| if i == j { 0.9 } else { 0.1 });
+        let (pairs, s) = pairs_and_screening(&b);
+        let ctx = FockContext::new(&b, &pairs, &s, 1e-12);
+        let via_engine = build_serial(&ctx, &DensitySet::Restricted(&d));
+        let via_wrapper = build_g_serial(&b, &pairs, &s, 1e-12, &d);
+        assert_eq!(via_engine.g.max_abs_diff(&via_wrapper.g), 0.0);
+        assert!(via_engine.g_beta.is_none());
     }
 }

@@ -1,9 +1,9 @@
 //! Algorithm 3: hybrid MPI/OpenMP, shared density *and* shared Fock.
 //!
-//! The paper's unique contribution. Per rank, one Fock matrix is shared by
-//! all threads; the write-dependency problem of eqs. (2a)–(2f) is solved by
-//! splitting each quartet's six updates across three destinations
-//! (Algorithm 3 lines 25–27):
+//! The paper's unique contribution. Per rank, one Fock matrix per spin
+//! channel is shared by all threads; the write-dependency problem of
+//! eqs. (2a)–(2f) is solved by splitting each quartet's six updates across
+//! three destinations (Algorithm 3 lines 25–27):
 //!
 //! * updates touching shell `i`'s block -> thread-private `FI` buffer,
 //! * updates touching shell `j`'s block -> thread-private `FJ` buffer,
@@ -21,8 +21,8 @@
 //! prescreened at the task level (line 13) so whole iterations of the most
 //! costly top loop vanish for sparse systems.
 
-use super::serial::GBuild;
-use super::{digest_quartet, pair_decode, pair_index, tri_to_full, FockSink};
+use super::engine::FockContext;
+use super::{digest_quartet_dens, pair_decode, pair_index, tri_to_full, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_integrals::{EriEngine, Screening, ShellPairs};
@@ -30,6 +30,8 @@ use phi_linalg::Mat;
 use phi_omp::{PaddedColumns, Schedule, SharedAccumulator, Team};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+pub use super::GBuild;
 
 fn replicated_readonly_bytes(n: usize) -> usize {
     3 * n * n * std::mem::size_of::<f64>()
@@ -49,7 +51,8 @@ pub enum TaskPrescreen {
     Off,
 }
 
-/// Routes canonical Fock updates to FI / FJ / the shared matrix.
+/// Routes canonical Fock updates to FI / FJ / the shared matrix (one
+/// instance per spin channel).
 struct SharedFockSink<'a> {
     fi_col: &'a mut [f64],
     fj_col: &'a mut [f64],
@@ -103,9 +106,9 @@ pub fn build_g_shared_fock(
     )
 }
 
-/// Full-control variant: `prescreen` selects the task-level screen, and
-/// `lazy_fi` toggles the lazy-FI-flush optimization (the `ablation_flush`
-/// experiment flushes FI after every task instead).
+/// Restricted full-control variant: `prescreen` selects the task-level
+/// screen, and `lazy_fi` toggles the lazy-FI-flush optimization (the
+/// `ablation_flush` experiment flushes FI after every task instead).
 #[allow(clippy::too_many_arguments)]
 pub fn build_g_shared_fock_opt(
     basis: &BasisSet,
@@ -118,57 +121,95 @@ pub fn build_g_shared_fock_opt(
     prescreen: TaskPrescreen,
     lazy_fi: bool,
 ) -> GBuild {
+    build_shared_fock_set(
+        &FockContext::new(basis, pairs, screening, tau),
+        &DensitySet::Restricted(d),
+        n_ranks,
+        n_threads,
+        prescreen,
+        lazy_fi,
+    )
+}
+
+/// Spin-generalized Algorithm 3: one shared Fock matrix and one FI/FJ
+/// buffer pair per spin channel; every quartet is digested into all
+/// channels before the shared kl element leaves the thread.
+pub fn build_shared_fock_set(
+    ctx: &FockContext<'_>,
+    dens: &DensitySet<'_>,
+    n_ranks: usize,
+    n_threads: usize,
+    prescreen: TaskPrescreen,
+    lazy_fi: bool,
+) -> GBuild {
+    let basis = ctx.basis;
     let n = basis.n_basis();
     let ns = basis.n_shells();
     let n_pair = ns * (ns + 1) / 2;
     let max_width = basis.shells.iter().map(|s| s.n_functions()).max().unwrap_or(1);
+    let work = dens.prepare();
+    let nch = work.n_channels();
 
     let world = phi_dmpi::run_world(n_ranks, |rank| {
         let start = Instant::now();
-        let mut d_rank = rank.alloc_f64(n * n);
-        d_rank.copy_from_slice(d.as_slice());
+        let mut d_rank = rank.alloc_f64(nch * n * n);
+        match *dens {
+            DensitySet::Restricted(d) => d_rank.copy_from_slice(d.as_slice()),
+            DensitySet::Unrestricted { alpha, beta } => {
+                d_rank[..n * n].copy_from_slice(alpha.as_slice());
+                d_rank[n * n..].copy_from_slice(beta.as_slice());
+            }
+        }
         rank.charge_bytes(replicated_readonly_bytes(n));
         // One shell-pair dataset per rank, shared read-only by all threads.
-        rank.charge_bytes(pairs.bytes());
+        rank.charge_bytes(ctx.pairs.bytes());
 
-        // The rank's single shared Fock matrix (line 4: shared(Fock)).
-        let fock = SharedAccumulator::new(n * n);
-        rank.charge_bytes(n * n * std::mem::size_of::<f64>());
-        // FI / FJ: mxsize x nthreads padded column buffers (lines 1-3).
-        let fi = PaddedColumns::new(n * max_width, n_threads);
-        let fj = PaddedColumns::new(n * max_width, n_threads);
-        rank.charge_bytes(fi.bytes() + fj.bytes());
+        // The rank's shared Fock matrices, one per channel (line 4:
+        // shared(Fock)).
+        let focks: Vec<SharedAccumulator> =
+            (0..nch).map(|_| SharedAccumulator::new(n * n)).collect();
+        rank.charge_bytes(nch * n * n * std::mem::size_of::<f64>());
+        // FI / FJ: mxsize x nthreads padded column buffers (lines 1-3),
+        // one pair per channel.
+        let fis: Vec<PaddedColumns> =
+            (0..nch).map(|_| PaddedColumns::new(n * max_width, n_threads)).collect();
+        let fjs: Vec<PaddedColumns> =
+            (0..nch).map(|_| PaddedColumns::new(n * max_width, n_threads)).collect();
+        rank.charge_bytes(fis.iter().chain(&fjs).map(|p| p.bytes()).sum());
 
         let team = Team::new(n_threads);
         let current_ij = AtomicUsize::new(0);
         rank.dlb_reset();
 
-        let thread_stats = team.parallel(|ctx| {
+        let thread_stats = team.parallel(|tctx| {
             let mut engine = EriEngine::new();
             let mut eri_buf: Vec<f64> = Vec::new();
             let mut computed = 0u64;
             let mut screened = 0u64;
             let mut tasks = 0usize;
+            let mut flushes = 0u64;
             // (shell index, first_bf) of the last task's i shell; identical
             // across threads because every thread follows the same task
             // sequence.
             let mut iold: Option<usize> = None;
 
-            let flush_fi = |ctx: &phi_omp::ThreadCtx<'_>, shell: usize| {
+            let flush_fi = |tctx: &phi_omp::ThreadCtx<'_>, shell: usize| {
                 let sh = &basis.shells[shell];
                 let (lo, width) = (sh.first_bf, sh.n_functions());
-                fi.flush_prefix_with(ctx, width * n, |row, sum| {
-                    let gi = lo + row / n;
-                    let other = row % n;
-                    let idx = if gi >= other { gi * n + other } else { other * n + gi };
-                    fock.add(idx, sum);
-                });
+                for (fi, fock) in fis.iter().zip(&focks) {
+                    fi.flush_prefix_with(tctx, width * n, |row, sum| {
+                        let gi = lo + row / n;
+                        let other = row % n;
+                        let idx = if gi >= other { gi * n + other } else { other * n + gi };
+                        fock.add(idx, sum);
+                    });
+                }
             };
 
             loop {
                 // Master pulls the next combined ij index (lines 7-10).
-                ctx.master(|| current_ij.store(rank.dlb_next(), Ordering::SeqCst));
-                ctx.barrier();
+                tctx.master(|| current_ij.store(rank.dlb_next(), Ordering::SeqCst));
+                tctx.barrier();
                 let ij = current_ij.load(Ordering::SeqCst);
                 if ij >= n_pair {
                     break;
@@ -176,8 +217,8 @@ pub fn build_g_shared_fock_opt(
                 let (i, j) = pair_decode(ij);
                 // Task-level prescreen (lines 13-14).
                 let survives = match prescreen {
-                    TaskPrescreen::QMax => screening.task_survives(i, j, tau),
-                    TaskPrescreen::Diagonal => screening.survives(i, j, i, j, tau),
+                    TaskPrescreen::QMax => ctx.screening.task_survives(i, j, ctx.tau),
+                    TaskPrescreen::Diagonal => ctx.screening.survives(i, j, i, j, ctx.tau),
                     TaskPrescreen::Off => true,
                 };
                 if !survives {
@@ -187,64 +228,77 @@ pub fn build_g_shared_fock_opt(
                     // the kl-loop's trailing barrier; without this one, a
                     // slow thread can miss a task entirely and the team's
                     // collective-call sequences diverge — deadlock.)
-                    ctx.barrier();
+                    tctx.barrier();
                     continue;
                 }
-                if ctx.is_master() {
+                if tctx.is_master() {
                     tasks += 1;
                 }
                 // Flush FI when i changes (lines 15-18) — or every task in
                 // the ablation configuration.
                 if let Some(io) = iold {
                     if io != i || !lazy_fi {
-                        flush_fi(ctx, io);
+                        flush_fi(tctx, io);
+                        if tctx.is_master() {
+                            flushes += nch as u64;
+                        }
                     }
                 }
 
                 let sh_i = &basis.shells[i];
                 let sh_j = &basis.shells[j];
-                let mut sink = SharedFockSink {
-                    fi_col: fi.col_mut(ctx.thread_num()),
-                    fj_col: fj.col_mut(ctx.thread_num()),
-                    fock: &fock,
-                    n,
-                    i_lo: sh_i.first_bf,
-                    i_hi: sh_i.first_bf + sh_i.n_functions(),
-                    j_lo: sh_j.first_bf,
-                    j_hi: sh_j.first_bf + sh_j.n_functions(),
-                };
+                let mut sinks: Vec<SharedFockSink<'_>> = (0..nch)
+                    .map(|ch| SharedFockSink {
+                        fi_col: fis[ch].col_mut(tctx.thread_num()),
+                        fj_col: fjs[ch].col_mut(tctx.thread_num()),
+                        fock: &focks[ch],
+                        n,
+                        i_lo: sh_i.first_bf,
+                        i_hi: sh_i.first_bf + sh_i.n_functions(),
+                        j_lo: sh_j.first_bf,
+                        j_hi: sh_j.first_bf + sh_j.n_functions(),
+                    })
+                    .collect();
 
                 // Workshared kl loop (lines 19-30).
                 let klmax = pair_index(i, j) + 1;
-                ctx.for_each(klmax, Schedule::dynamic1(), |kl| {
+                tctx.for_each(klmax, Schedule::dynamic1(), |kl| {
                     let (k, l) = pair_decode(kl);
-                    if !screening.survives(i, j, k, l, tau) {
+                    if !ctx.screening.survives(i, j, k, l, ctx.tau) {
                         screened += 1;
                         return;
                     }
-                    let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
+                    let (bra, ket) = (ctx.pairs.pair(i, j), ctx.pairs.pair(k, l));
                     eri_buf.clear();
                     eri_buf.resize(bra.n_fn() * ket.n_fn(), 0.0);
                     engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
-                    digest_quartet(basis, i, j, k, l, &eri_buf, d, &mut sink);
+                    digest_quartet_dens(basis, i, j, k, l, &eri_buf, &work, &mut sinks);
                     computed += 1;
                 });
 
                 // Flush FJ after every kl loop (lines 31-32).
                 let width_j = sh_j.n_functions();
                 let j_lo = sh_j.first_bf;
-                fj.flush_prefix_with(ctx, width_j * n, |row, sum| {
-                    let gj = j_lo + row / n;
-                    let other = row % n;
-                    let idx = if gj >= other { gj * n + other } else { other * n + gj };
-                    fock.add(idx, sum);
-                });
+                for (fj, fock) in fjs.iter().zip(&focks) {
+                    fj.flush_prefix_with(tctx, width_j * n, |row, sum| {
+                        let gj = j_lo + row / n;
+                        let other = row % n;
+                        let idx = if gj >= other { gj * n + other } else { other * n + gj };
+                        fock.add(idx, sum);
+                    });
+                }
+                if tctx.is_master() {
+                    flushes += nch as u64;
+                }
                 iold = Some(i);
             }
 
             // Flush the FI remainder (line 36).
             if let Some(io) = iold {
-                flush_fi(ctx, io);
+                flush_fi(tctx, io);
+                if tctx.is_master() {
+                    flushes += nch as u64;
+                }
             }
 
             FockBuildStats {
@@ -252,18 +306,23 @@ pub fn build_g_shared_fock_opt(
                 quartets_screened: screened,
                 prim_quartets: engine.prim_quartets_computed(),
                 dlb_tasks: tasks,
+                flushes,
                 ..Default::default()
             }
         });
 
-        // 2e-Fock reduction over MPI ranks (line 38).
-        let mut fbuf = fock.snapshot();
+        // 2e-Fock reduction over MPI ranks (line 38) — one collective
+        // covering every spin channel.
+        let mut fbuf: Vec<f64> = Vec::with_capacity(nch * n * n);
+        for fock in &focks {
+            fbuf.extend(fock.snapshot());
+        }
         rank.gsumf(&mut fbuf);
 
-        rank.release_bytes(fi.bytes() + fj.bytes());
-        rank.release_bytes(n * n * std::mem::size_of::<f64>());
+        rank.release_bytes(fis.iter().chain(&fjs).map(|p| p.bytes()).sum());
+        rank.release_bytes(nch * n * n * std::mem::size_of::<f64>());
         rank.release_bytes(replicated_readonly_bytes(n));
-        rank.release_bytes(pairs.bytes());
+        rank.release_bytes(ctx.pairs.bytes());
 
         let mut stats = FockBuildStats::default();
         for ts in &thread_stats {
@@ -284,7 +343,9 @@ pub fn build_g_shared_fock_opt(
     }
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
-    GBuild { g: tri_to_full(&g_buf.expect("rank 0 returns the reduced Fock"), n), stats }
+    stats.dlb_calls = world.dlb_calls;
+    let bufs = g_buf.expect("rank 0 returns the reduced Fock");
+    GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
 }
 
 #[cfg(test)]
@@ -345,6 +406,9 @@ mod tests {
         let eager =
             build_g_shared_fock_opt(&b, &pairs, &s, 1e-12, &d, 1, 3, TaskPrescreen::QMax, false);
         assert!(lazy.g.max_abs_diff(&eager.g) < 1e-10);
+        // Eager flushing performs strictly more FI flushes; both count them.
+        assert!(lazy.stats.flushes > 0);
+        assert!(eager.stats.flushes > lazy.stats.flushes);
     }
 
     #[test]
@@ -423,5 +487,7 @@ mod tests {
         let ns = b.n_shells();
         // Water/STO-3G is compact: no pair is prescreened at 1e-14.
         assert_eq!(out.stats.dlb_tasks, ns * (ns + 1) / 2);
+        // Every task pull plus each rank's final out-of-range claim.
+        assert_eq!(out.stats.dlb_calls, ns * (ns + 1) / 2 + 2);
     }
 }

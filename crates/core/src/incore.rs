@@ -6,9 +6,14 @@
 //! their integrals) and conventional SCF. The in-core path completes the
 //! functionality and gives the test suite a strong independent check: the
 //! stored-integral Fock build must agree with every direct builder.
+//!
+//! [`IncoreEris`] implements [`FockBuilder`], so the SCF drivers treat the
+//! replay as just another engine: whenever the stored integrals fit the
+//! configured budget, iterations replay them — regardless of which direct
+//! algorithm the run was configured with.
 
-use crate::fock::serial::GBuild;
-use crate::fock::{digest_quartet, kl_bounds, tri_to_full, TriSink};
+use crate::fock::engine::{FockBuilder, FockContext};
+use crate::fock::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, GBuild, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_integrals::{EriEngine, Screening, ShellPairs};
@@ -74,26 +79,48 @@ impl IncoreEris {
         self.values.len() * std::mem::size_of::<f64>()
     }
 
-    /// Build `G(D)` by replaying the stored integrals — no ERI evaluation.
-    pub fn build_g(&self, basis: &BasisSet, d: &Mat) -> GBuild {
+    /// Build the two-electron matrices for any [`DensitySet`] by replaying
+    /// the stored integrals — no ERI evaluation.
+    pub fn build_set(&self, basis: &BasisSet, dens: &DensitySet<'_>) -> GBuild {
         let start = Instant::now();
+        let work = dens.prepare();
+        let nch = work.n_channels();
         let n = self.n_basis;
-        let mut buf = vec![0.0; n * n];
-        for (q, &(i, j, k, l)) in self.quartets.iter().enumerate() {
-            let vals = &self.values[self.offsets[q]..self.offsets[q + 1]];
-            let mut sink = TriSink { buf: &mut buf, n };
-            digest_quartet(
-                basis, i as usize, j as usize, k as usize, l as usize, vals, d, &mut sink,
-            );
+        let mut bufs = vec![0.0; nch * n * n];
+        {
+            let mut sinks: Vec<TriSink<'_>> =
+                bufs.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+            for (q, &(i, j, k, l)) in self.quartets.iter().enumerate() {
+                let vals = &self.values[self.offsets[q]..self.offsets[q + 1]];
+                digest_quartet_dens(
+                    basis, i as usize, j as usize, k as usize, l as usize, vals, &work, &mut sinks,
+                );
+            }
         }
-        GBuild {
-            g: tri_to_full(&buf, n),
-            stats: FockBuildStats {
+        GBuild::from_channels(
+            bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(),
+            FockBuildStats {
                 seconds: start.elapsed().as_secs_f64(),
                 quartets_computed: self.quartets.len() as u64,
                 ..Default::default()
             },
-        }
+        )
+    }
+
+    /// Build `G(D)` by replaying the stored integrals (restricted wrapper
+    /// over [`IncoreEris::build_set`]).
+    pub fn build_g(&self, basis: &BasisSet, d: &Mat) -> GBuild {
+        self.build_set(basis, &DensitySet::Restricted(d))
+    }
+}
+
+impl FockBuilder for IncoreEris {
+    fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
+        self.build_set(ctx.basis, dens)
+    }
+
+    fn label(&self) -> &'static str {
+        "in-core replay"
     }
 }
 
@@ -134,6 +161,30 @@ mod tests {
                 direct.max_abs_diff(&incore)
             );
         }
+    }
+
+    #[test]
+    fn incore_replays_unrestricted_sets() {
+        // The stored-integral replay must agree with the direct serial
+        // UHF digestion on both spin channels.
+        use crate::fock::engine::FockContext;
+        use crate::fock::serial::build_serial;
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let (pairs, s) = pairs_and_screening(&b);
+        let tau = 1e-10;
+        let eris = IncoreEris::compute(&b, &pairs, &s, tau, 1 << 30).expect("fits");
+        let n = b.n_basis();
+        let d_a = density(n);
+        let mut d_b = density(n);
+        d_b.scale(0.7);
+        let dens = DensitySet::Unrestricted { alpha: &d_a, beta: &d_b };
+        let ctx = FockContext::new(&b, &pairs, &s, tau);
+        let direct = build_serial(&ctx, &dens);
+        let replay = eris.build_set(&b, &dens);
+        let direct_b = direct.g_beta.expect("beta channel");
+        let replay_b = replay.g_beta.expect("beta channel");
+        assert!(direct.g.max_abs_diff(&replay.g) < 1e-11);
+        assert!(direct_b.max_abs_diff(&replay_b) < 1e-11);
     }
 
     #[test]

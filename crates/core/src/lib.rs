@@ -17,7 +17,17 @@
 //!   thread-private `FI`/`FJ` column buffers with lazy `FI` flushing.
 //!
 //! A serial reference builder ([`fock::serial`]) defines ground truth (up
-//! to floating-point summation order) for all three.
+//! to floating-point summation order) for all three, and
+//! [`fock::distributed`] adds the related-work distributed-data baseline.
+//!
+//! All builders sit behind one engine layer ([`fock::engine`]): drivers
+//! assemble a [`FockContext`] (basis + persistent shell pairs + screening)
+//! once, pick a [`FockBuilder`] via [`FockAlgorithm::builder`], and hand it
+//! a [`DensitySet`] — one matrix for RHF, an α/β pair for UHF. Every
+//! builder returns the same [`GBuild`] (per-channel `G` matrices plus
+//! uniformly collected [`FockBuildStats`]), so RHF ([`scf`]), UHF
+//! ([`uhf`]), and the stored-integral replay ([`incore`]) compose with any
+//! algorithm.
 //!
 //! The driver ([`scf`]) handles the rest of the method: core-Hamiltonian
 //! guess, symmetric orthogonalization, (optional) DIIS acceleration,
@@ -36,7 +46,8 @@ pub mod scf;
 pub mod stats;
 pub mod uhf;
 
-pub use fock::FockAlgorithm;
+pub use fock::engine::{FockBuilder, FockContext, FockData};
+pub use fock::{DensitySet, FockAlgorithm, GBuild};
 pub use incore::IncoreEris;
 pub use memory_model::MemoryModel;
 pub use mp2::{mp2_energy, Mp2Result};

@@ -7,14 +7,12 @@
 //! to the algorithm selected in [`ScfConfig`].
 
 use crate::diis::Diis;
-use crate::fock::serial::GBuild;
-use crate::fock::{self, FockAlgorithm};
+use crate::fock::engine::{FockBuilder, FockData};
+use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{core_guess, density_from_orbitals, solve_roothaan};
 use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
-use phi_integrals::{
-    kinetic_matrix, nuclear_attraction_matrix, overlap_matrix, Screening, ShellPairs,
-};
+use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
 use phi_linalg::{sym_inv_sqrt, Mat};
 
 /// SCF configuration.
@@ -39,8 +37,10 @@ pub struct ScfConfig {
     pub level_shift: Option<f64>,
     /// Conventional (in-core) SCF: store all surviving ERIs up to this many
     /// bytes and replay them every iteration instead of recomputing
-    /// (GAMESS direct vs conventional SCF). Falls back to direct if the
-    /// integrals do not fit. Only meaningful with the serial algorithm.
+    /// (GAMESS direct vs conventional SCF). Falls back to the configured
+    /// direct algorithm if the integrals do not fit; compatible with every
+    /// [`FockAlgorithm`] — when the integrals fit, the replay builder is
+    /// used regardless of which direct algorithm was selected.
     pub incore_max_bytes: Option<usize>,
 }
 
@@ -96,30 +96,6 @@ impl ScfResult {
     }
 }
 
-fn build_g(
-    basis: &BasisSet,
-    pairs: &ShellPairs,
-    screening: &Screening,
-    tau: f64,
-    d: &Mat,
-    algorithm: FockAlgorithm,
-) -> GBuild {
-    match algorithm {
-        FockAlgorithm::Serial => fock::serial::build_g_serial(basis, pairs, screening, tau, d),
-        FockAlgorithm::MpiOnly { n_ranks } => {
-            fock::mpi_only::build_g_mpi_only(basis, pairs, screening, tau, d, n_ranks)
-        }
-        FockAlgorithm::PrivateFock { n_ranks, n_threads } => {
-            fock::private_fock::build_g_private_fock(
-                basis, pairs, screening, tau, d, n_ranks, n_threads,
-            )
-        }
-        FockAlgorithm::SharedFock { n_ranks, n_threads } => fock::shared_fock::build_g_shared_fock(
-            basis, pairs, screening, tau, d, n_ranks, n_threads,
-        ),
-    }
-}
-
 /// Run a closed-shell restricted Hartree-Fock calculation.
 pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResult {
     let n = basis.n_basis();
@@ -130,21 +106,30 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
     let s = overlap_matrix(basis);
     let h = kinetic_matrix(basis).add(&nuclear_attraction_matrix(basis, mol));
     let x = sym_inv_sqrt(&s, config.s_threshold);
-    // The persistent shell-pair dataset: built once per (geometry, basis)
-    // and shared read-only by every SCF iteration, thread and rank. The
-    // Schwarz screening reuses its diagonal pairs.
-    let pairs = ShellPairs::build(basis);
-    let screening = Screening::from_pairs(basis, &pairs);
+    // The persistent shell-pair dataset and Schwarz screening: built once
+    // per (geometry, basis) and shared read-only by every SCF iteration,
+    // thread and rank.
+    let data = FockData::build(basis);
+    let ctx = data.context(basis, config.screening_tau);
     let e_nn = mol.nuclear_repulsion();
 
-    // Conventional SCF: precompute stored integrals if requested & they fit.
+    // Conventional SCF: precompute stored integrals if requested & they
+    // fit. The replay is a FockBuilder like any other, so it composes with
+    // every configured algorithm.
     let incore = config.incore_max_bytes.and_then(|max| {
-        assert!(
-            matches!(config.algorithm, FockAlgorithm::Serial),
-            "in-core SCF is only implemented for the serial algorithm"
-        );
-        crate::incore::IncoreEris::compute(basis, &pairs, &screening, config.screening_tau, max)
+        crate::incore::IncoreEris::compute(
+            basis,
+            &data.pairs,
+            &data.screening,
+            config.screening_tau,
+            max,
+        )
     });
+    let direct = config.algorithm.builder();
+    let builder: &dyn FockBuilder = match &incore {
+        Some(eris) => eris,
+        None => direct.as_ref(),
+    };
 
     // Initial guess.
     let mut d = core_guess(&h, &x, n_occ);
@@ -159,10 +144,7 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
 
     for it in 0..config.max_iterations {
         iterations = it + 1;
-        let gb = match &incore {
-            Some(eris) => eris.build_g(basis, &d),
-            None => build_g(basis, &pairs, &screening, config.screening_tau, &d, config.algorithm),
-        };
+        let gb = builder.build(&ctx, &DensitySet::Restricted(&d));
         fock_stats.push(gb.stats);
         let mut f = h.add(&gb.g);
         f.symmetrize();
@@ -328,13 +310,14 @@ mod tests {
     }
 
     #[test]
-    fn all_four_algorithms_give_the_same_energy() {
+    fn all_parallel_algorithms_give_the_same_energy() {
         let mol = small::water();
         let algorithms = [
             FockAlgorithm::Serial,
             FockAlgorithm::MpiOnly { n_ranks: 2 },
             FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 3 },
             FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
+            FockAlgorithm::Distributed { n_ranks: 2 },
         ];
         let energies: Vec<f64> = algorithms
             .iter()
@@ -376,6 +359,48 @@ mod tests {
             &ScfConfig { incore_max_bytes: Some(16), ..Default::default() },
         );
         assert!((fallback.energy - direct.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incore_composes_with_any_algorithm() {
+        // The in-core replay is a FockBuilder: it must work (and win) under
+        // a parallel algorithm selection, replaying the stored integrals
+        // instead of dispatching to the configured direct builder.
+        let mol = small::water();
+        let direct = scf(&mol, BasisName::B631g, &ScfConfig::default());
+        let incore_shared = scf(
+            &mol,
+            BasisName::B631g,
+            &ScfConfig {
+                algorithm: FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
+                incore_max_bytes: Some(1 << 30),
+                ..Default::default()
+            },
+        );
+        assert!(incore_shared.converged);
+        assert!(
+            (incore_shared.energy - direct.energy).abs() < 1e-9,
+            "in-core + shared Fock {} vs direct {}",
+            incore_shared.energy,
+            direct.energy
+        );
+        // The replay really was used: no quartets screened at build time
+        // (screening happened at store time) and no DLB counter traffic.
+        let s = incore_shared.fock_stats.first().expect("at least one iteration");
+        assert_eq!(s.quartets_screened, 0);
+        assert_eq!(s.dlb_calls, 0);
+        // An undersized budget falls back to the configured direct builder.
+        let fallback = scf(
+            &mol,
+            BasisName::B631g,
+            &ScfConfig {
+                algorithm: FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
+                incore_max_bytes: Some(16),
+                ..Default::default()
+            },
+        );
+        assert!((fallback.energy - direct.energy).abs() < 1e-9);
+        assert!(fallback.fock_stats.first().expect("iterations").dlb_calls > 0);
     }
 
     #[test]

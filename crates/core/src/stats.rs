@@ -19,6 +19,15 @@ pub struct FockBuildStats {
     pub prim_quartets: u64,
     /// DLB counter claims made (MPI task pulls).
     pub dlb_tasks: usize,
+    /// Total calls to the global DLB counter, including the final
+    /// out-of-range claim each rank makes before exiting its task loop
+    /// (`Dlb::calls_made`). Zero for builders that do not use the counter
+    /// (serial, in-core replay). Set once per build from the world's
+    /// counter — [`FockBuildStats::merge`] deliberately ignores it.
+    pub dlb_calls: usize,
+    /// Buffer flushes performed: FI/FJ column-buffer flushes in the
+    /// shared-Fock build, scatter-row flushes in the distributed build.
+    pub flushes: u64,
     /// Sum of per-rank peak tracked bytes (the paper's footprint metric).
     pub memory_total_peak: usize,
     /// Peak tracked bytes per rank.
@@ -37,12 +46,15 @@ impl FockBuildStats {
     }
 
     /// Merge the stats of parallel contributors (max time, summed counts).
+    /// `dlb_calls` is world-global and therefore *not* merged — builders
+    /// set it once from the world counter after merging.
     pub fn merge(mut acc: FockBuildStats, other: &FockBuildStats) -> FockBuildStats {
         acc.seconds = acc.seconds.max(other.seconds);
         acc.quartets_computed += other.quartets_computed;
         acc.quartets_screened += other.quartets_screened;
         acc.prim_quartets += other.prim_quartets;
         acc.dlb_tasks += other.dlb_tasks;
+        acc.flushes += other.flushes;
         acc
     }
 }

@@ -10,21 +10,25 @@
 //! ```
 //!
 //! are assembled from the *same* canonical-quartet digestion used by the
-//! RHF builders, just recombined with different Coulomb/exchange factors
-//! ([`crate::fock::digest_value_scaled`]). Serial builds only — the point
-//! is the structural generalization, not re-parallelizing it.
+//! RHF builders through the unified engine layer: each iteration makes one
+//! [`DensitySet::Unrestricted`] build, so every surviving ERI is evaluated
+//! once and digested into both spin channels — under any of the paper's
+//! parallel algorithms, selected via [`UhfConfig::algorithm`].
 
-use crate::fock::serial::build_jk_serial;
+use crate::fock::engine::FockData;
+use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{density_from_orbitals, solve_roothaan};
+use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
-use phi_integrals::{
-    kinetic_matrix, nuclear_attraction_matrix, overlap_matrix, Screening, ShellPairs,
-};
+use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
 use phi_linalg::{sym_inv_sqrt, Mat};
 
 /// UHF configuration.
 #[derive(Clone, Debug)]
 pub struct UhfConfig {
+    /// Which Fock-build parallelization to use — all of the paper's
+    /// algorithms serve UHF through the unified engine.
+    pub algorithm: FockAlgorithm,
     pub screening_tau: f64,
     pub convergence: f64,
     pub max_iterations: usize,
@@ -37,6 +41,7 @@ pub struct UhfConfig {
 impl Default for UhfConfig {
     fn default() -> Self {
         UhfConfig {
+            algorithm: FockAlgorithm::Serial,
             screening_tau: 1e-10,
             convergence: 1e-8,
             max_iterations: 200,
@@ -60,6 +65,9 @@ pub struct UhfResult {
     pub density_alpha: Mat,
     /// Converged beta-spin density.
     pub density_beta: Mat,
+    /// Per-iteration Fock-build statistics, collected identically to the
+    /// RHF driver's ("TIME TO FORM FOCK" for the spin-Fock builds).
+    pub fock_stats: Vec<FockBuildStats>,
 }
 
 /// A half-density: `C_occ C_occᵀ` (no factor 2) for one spin channel.
@@ -83,8 +91,9 @@ pub fn run_uhf(
     let s = overlap_matrix(basis);
     let h = kinetic_matrix(basis).add(&nuclear_attraction_matrix(basis, mol));
     let x = sym_inv_sqrt(&s, config.s_threshold);
-    let pairs = ShellPairs::build(basis);
-    let screening = Screening::from_pairs(basis, &pairs);
+    let data = FockData::build(basis);
+    let ctx = data.context(basis, config.screening_tau);
+    let builder = config.algorithm.builder();
     let e_nn = mol.nuclear_repulsion();
 
     // Core guess for both spins.
@@ -111,22 +120,23 @@ pub fn run_uhf(
     let mut eps_b = Vec::new();
     let mut c_a_final = Mat::zeros(n, n);
     let mut c_b_final = Mat::zeros(n, n);
+    let mut fock_stats = Vec::new();
 
     for it in 0..config.max_iterations {
         iterations = it + 1;
-        let d_t = d_a.add(&d_b);
-        let j_t =
-            build_jk_serial(basis, &pairs, &screening, config.screening_tau, &d_t, 1.0, 0.0).g;
-        let k_a =
-            build_jk_serial(basis, &pairs, &screening, config.screening_tau, &d_a, 0.0, -1.0).g;
-        let k_b =
-            build_jk_serial(basis, &pairs, &screening, config.screening_tau, &d_b, 0.0, -1.0).g;
-        let mut f_a = h.add(&j_t).add(&k_a);
-        let mut f_b = h.add(&j_t).add(&k_b);
+        // One spin-generalized build per iteration: every surviving ERI is
+        // evaluated once and digested into both channels,
+        // G_s = J(D_a + D_b) - K(D_s).
+        let gb = builder.build(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b });
+        let g_b = gb.g_beta.expect("unrestricted build returns a beta channel");
+        let mut f_a = h.add(&gb.g);
+        let mut f_b = h.add(&g_b);
+        fock_stats.push(gb.stats);
         f_a.symmetrize();
         f_b.symmetrize();
 
         // E = 1/2 [ D_t . H + D_a . F_a + D_b . F_b ] + E_nn
+        let d_t = d_a.add(&d_b);
         energy = 0.5 * (d_t.dot(&h) + d_a.dot(&f_a) + d_b.dot(&f_b)) + e_nn;
 
         let (ea, ca) = solve_roothaan(&f_a, &x);
@@ -167,6 +177,7 @@ pub fn run_uhf(
         orbital_energies_beta: eps_b,
         density_alpha: d_a,
         density_beta: d_b,
+        fock_stats,
     }
 }
 
@@ -289,9 +300,38 @@ mod tests {
     }
 
     #[test]
+    fn uhf_energy_is_algorithm_invariant() {
+        // The engine unlocks every parallel algorithm for UHF; all must
+        // land on the serial driver's converged energy.
+        let mol = small::hydrogen_molecule(5.0);
+        let b = BasisSet::build(&mol, BasisName::Sto3g);
+        let base = UhfConfig { break_symmetry: true, ..Default::default() };
+        let want = run_uhf(&mol, &b, 1, 1, &base);
+        assert!(want.converged);
+        for algorithm in [
+            FockAlgorithm::MpiOnly { n_ranks: 2 },
+            FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 2 },
+            FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
+            FockAlgorithm::Distributed { n_ranks: 2 },
+        ] {
+            let r = run_uhf(&mol, &b, 1, 1, &UhfConfig { algorithm, ..base.clone() });
+            assert!(r.converged, "{} did not converge", algorithm.label());
+            assert!(
+                (r.energy - want.energy).abs() < 1e-8,
+                "{}: {} vs serial {}",
+                algorithm.label(),
+                r.energy,
+                want.energy
+            );
+        }
+        assert!(!want.fock_stats.is_empty(), "UHF surfaces per-iteration Fock stats");
+    }
+
+    #[test]
     fn jk_pieces_recombine_to_rhf_g() {
         // G(D) = J(D) - K(D)/2 must equal the one-pass RHF digestion.
         use crate::fock::serial::{build_g_serial, build_jk_serial};
+        use phi_integrals::{Screening, ShellPairs};
         let mol = small::water();
         let b = BasisSet::build(&mol, BasisName::Sto3g);
         let pairs = ShellPairs::build(&b);

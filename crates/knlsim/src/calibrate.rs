@@ -11,7 +11,7 @@ use crate::cost::EriCostTable;
 use hf::fock::{digest_quartet, TriSink};
 use phi_chem::BasisSet;
 use phi_integrals::screening::ShellClasses;
-use phi_integrals::{EriEngine, ShellPair};
+use phi_integrals::{EriEngine, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -19,7 +19,15 @@ use std::time::Instant;
 const MIN_WINDOW_S: f64 = 0.002;
 
 /// Measure the cost table for a basis on this host.
-pub fn calibrate_eri_costs(basis: &BasisSet, classes: &ShellClasses) -> EriCostTable {
+///
+/// Takes the persistent [`ShellPairs`] dataset the real builders use, so
+/// the timed kernel consumes exactly the pair data layout of a production
+/// Fock build (no ad-hoc pair construction).
+pub fn calibrate_eri_costs(
+    basis: &BasisSet,
+    pairs: &ShellPairs,
+    classes: &ShellClasses,
+) -> EriCostTable {
     let reps_shells = classes.representatives();
     let nc = classes.n_classes();
     let npc = classes.n_pair_classes();
@@ -40,8 +48,11 @@ pub fn calibrate_eri_costs(basis: &BasisSet, classes: &ShellClasses) -> EriCostT
             for b1 in 0..nc {
                 for b2 in 0..=b1 {
                     let ket_pc = b1 * (b1 + 1) / 2 + b2;
-                    let (si, sj, sk, sl) =
-                        (reps_shells[a1], reps_shells[a2], reps_shells[b1], reps_shells[b2]);
+                    // The persistent dataset stores lower-triangular pairs;
+                    // orient each representative pair accordingly (the cost
+                    // of a class pair is orientation-independent).
+                    let (si, sj) = ordered(reps_shells[a1], reps_shells[a2]);
+                    let (sk, sl) = ordered(reps_shells[b1], reps_shells[b2]);
                     let (sa, sb, sc, sd) = (
                         &basis.shells[si],
                         &basis.shells[sj],
@@ -52,18 +63,15 @@ pub fn calibrate_eri_costs(basis: &BasisSet, classes: &ShellClasses) -> EriCostT
                         sa.n_functions() * sb.n_functions() * sc.n_functions() * sd.n_functions();
                     eri_buf.clear();
                     eri_buf.resize(len, 0.0);
-                    // Pair data is persistent in the real builders, so it is
-                    // built outside the timed loop here as well.
-                    let bra = ShellPair::build(si, sj, sa, sb, 0.0);
-                    let ket = ShellPair::build(sk, sl, sc, sd, 0.0);
+                    let (bra, ket) = (pairs.pair(si, sj), pairs.pair(sk, sl));
                     // Warm up once, then time batches until the window is
                     // long enough to trust.
-                    engine.shell_quartet_pairs(&bra, &ket, &mut eri_buf);
+                    engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                     let mut total_reps = 0u64;
                     let start = Instant::now();
                     loop {
                         for _ in 0..16 {
-                            engine.shell_quartet_pairs(&bra, &ket, &mut eri_buf);
+                            engine.shell_quartet_pairs(bra, ket, &mut eri_buf);
                             let mut sink = TriSink { buf: &mut fbuf, n };
                             digest_quartet(basis, si, sj, sk, sl, &eri_buf, &d, &mut sink);
                         }
@@ -81,6 +89,15 @@ pub fn calibrate_eri_costs(basis: &BasisSet, classes: &ShellClasses) -> EriCostT
     EriCostTable { n_pair_classes: npc, ns }
 }
 
+#[inline]
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a >= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,8 +107,9 @@ mod tests {
     #[test]
     fn calibration_produces_sane_magnitudes() {
         let b = BasisSet::build(&small::c_ring(6, 1.39), BasisName::B631gd);
+        let pairs = ShellPairs::build(&b);
         let classes = ShellClasses::classify(&b);
-        let t = calibrate_eri_costs(&b, &classes);
+        let t = calibrate_eri_costs(&b, &pairs, &classes);
         for v in &t.ns {
             assert!(*v > 10.0, "quartet under 10 ns is implausible: {v}");
             assert!(*v < 1e7, "quartet over 10 ms is implausible: {v}");

@@ -38,7 +38,8 @@ impl Ctx {
         let stats = WorkloadStats::compute(&basis, &screening, tau);
         let classes = ShellClasses::classify(&basis);
         let eri = if calibrated {
-            calibrate_eri_costs(&basis, &classes)
+            let pairs = phi_integrals::ShellPairs::build(&basis);
+            calibrate_eri_costs(&basis, &pairs, &classes)
         } else {
             EriCostTable::analytic(&classes)
         };

@@ -8,8 +8,8 @@
 use phi_scf::chem::basis::{BasisName, BasisSet};
 use phi_scf::chem::geom::graphene::PaperSystem;
 use phi_scf::chem::geom::small;
-use phi_scf::hf::fock::{mpi_only, private_fock, shared_fock};
 use phi_scf::hf::memory_model::Table2Row;
+use phi_scf::hf::{DensitySet, FockAlgorithm, FockContext};
 use phi_scf::integrals::{Screening, ShellPairs};
 use phi_scf::linalg::Mat;
 
@@ -40,13 +40,17 @@ fn main() {
     println!("  shell-pair dataset: {} bytes (shared per rank)", pairs.bytes());
     let n = basis.n_basis();
     let d = Mat::identity(n);
-    let mpi = mpi_only::build_g_mpi_only(&basis, &pairs, &screening, 1e-10, &d, 8);
-    let prf = private_fock::build_g_private_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 8);
-    let shf = shared_fock::build_g_shared_fock(&basis, &pairs, &screening, 1e-10, &d, 1, 8);
+    let ctx = FockContext::new(&basis, &pairs, &screening, 1e-10);
+    let dens = DensitySet::Restricted(&d);
+    let mpi = FockAlgorithm::MpiOnly { n_ranks: 8 }.builder().build(&ctx, &dens);
+    let prf = FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 8 }.builder().build(&ctx, &dens);
+    let shf = FockAlgorithm::SharedFock { n_ranks: 1, n_threads: 8 }.builder().build(&ctx, &dens);
+    let dst = FockAlgorithm::Distributed { n_ranks: 8 }.builder().build(&ctx, &dens);
     for (name, s) in [
         ("MPI-only 8 ranks", &mpi.stats),
         ("private Fock 1x8", &prf.stats),
         ("shared Fock 1x8", &shf.stats),
+        ("distributed 8", &dst.stats),
     ] {
         println!(
             "  {:18} peak {:>10} bytes  ({:.1}x below MPI-only)",

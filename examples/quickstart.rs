@@ -25,6 +25,7 @@ fn main() {
         FockAlgorithm::MpiOnly { n_ranks: 4 },
         FockAlgorithm::PrivateFock { n_ranks: 2, n_threads: 2 },
         FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
+        FockAlgorithm::Distributed { n_ranks: 4 },
     ];
     for algorithm in algorithms {
         let config = ScfConfig { algorithm, ..Default::default() };
@@ -39,5 +40,5 @@ fn main() {
             result.peak_memory(),
         );
     }
-    println!("\nAll four must agree to ~1e-8 Eh — the parallel algorithms are exact.");
+    println!("\nAll five must agree to ~1e-8 Eh — the parallel algorithms are exact.");
 }

@@ -4,7 +4,8 @@
 //! ```sh
 //! phi-scf --molecule water --basis 631gd --algorithm shared:2x2
 //! phi-scf --molecule ring:8 --basis sto3g --algorithm private:1x4
-//! phi-scf --molecule h2:1.4 --uhf 1,1
+//! phi-scf --molecule benzene --algorithm distributed:4
+//! phi-scf --molecule h2:1.4 --uhf 1,1 --algorithm mpi:2
 //! phi-scf --help
 //! ```
 
@@ -27,7 +28,8 @@ OPTIONS:
                          (charge via charge=<int> on the comment line)
     --basis <NAME>       sto3g | 631g | 631gd | 631gdp [default: 631g]
     --algorithm <SPEC>   serial | mpi:<ranks> | private:<R>x<T> |
-                         shared:<R>x<T>                [default: shared:2x2]
+                         shared:<R>x<T> | distributed:<ranks>
+                         (applies to RHF and UHF)      [default: shared:2x2]
     --tau <FLOAT>        Schwarz screening threshold   [default: 1e-10]
     --max-iter <N>       SCF iteration cap             [default: 100]
     --uhf <NA>,<NB>      run UHF with NA alpha / NB beta electrons
@@ -104,6 +106,9 @@ fn parse_algorithm(spec: &str) -> Result<FockAlgorithm, String> {
             let (r, t) = parse_rt(cfg)?;
             Ok(FockAlgorithm::SharedFock { n_ranks: r, n_threads: t })
         }
+        "distributed" => Ok(FockAlgorithm::Distributed {
+            n_ranks: cfg.parse().map_err(|_| format!("bad rank count '{cfg}'"))?,
+        }),
         other => Err(format!("unknown algorithm '{other}'")),
     }
 }
@@ -168,18 +173,34 @@ fn run() -> Result<(), String> {
         mol.n_electrons()
     );
 
+    let alg = parse_algorithm(&algorithm)?;
     if let Some((na, nb)) = uhf {
-        let config =
-            UhfConfig { screening_tau: tau, max_iterations: max_iter, ..Default::default() };
+        let config = UhfConfig {
+            algorithm: alg,
+            screening_tau: tau,
+            max_iterations: max_iter,
+            ..Default::default()
+        };
         let r = run_uhf(&mol, &b, na, nb, &config);
         println!(
-            "UHF ({na} alpha, {nb} beta): E = {:.8} Eh  <S^2> = {:.4}  ({} iterations, converged: {})",
-            r.energy, r.s_squared, r.iterations, r.converged
+            "UHF [{}] ({na} alpha, {nb} beta): E = {:.8} Eh  <S^2> = {:.4}  ({} iterations, converged: {})",
+            alg.label(),
+            r.energy,
+            r.s_squared,
+            r.iterations,
+            r.converged
         );
+        if let Some(s) = r.fock_stats.first() {
+            println!(
+                "per build: {} quartets computed, {:.1}% screened, {} DLB calls",
+                s.quartets_computed,
+                s.screened_fraction() * 100.0,
+                s.dlb_calls
+            );
+        }
         return Ok(());
     }
 
-    let alg = parse_algorithm(&algorithm)?;
     let config = ScfConfig {
         algorithm: alg,
         screening_tau: tau,
