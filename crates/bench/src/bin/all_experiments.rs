@@ -56,4 +56,8 @@ fn main() {
     println!("{}", scenarios::ablation_schedule(&ctx10));
     println!("{}", scenarios::ablation_loadbalance(&ctx10, 16));
     println!("{}", scenarios::crossover(&ctx20));
+
+    // Robustness: what rank deaths cost under the task-lease recovery
+    // protocol, volatile vs durable completion.
+    println!("{}", scenarios::failure_recovery(&ctx10, 16));
 }

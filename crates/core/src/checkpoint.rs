@@ -1,0 +1,231 @@
+//! SCF checkpoint/restart: serialize the iteration state so a run killed
+//! mid-SCF resumes and reproduces the uninterrupted energy bit-for-bit.
+//!
+//! The state that determines every subsequent iteration is exactly the
+//! density matrix, the DIIS history (the `(F, error)` pairs), and the
+//! energy history (for divergence detection); everything else — overlap,
+//! core Hamiltonian, shell pairs, screening — is rebuilt deterministically
+//! from the input. Checkpoints therefore hold those three plus the
+//! iteration count.
+//!
+//! # Format
+//!
+//! A flat little-endian binary layout, all `f64` round-tripped through
+//! [`f64::to_bits`]/[`f64::from_bits`] so resume is bit-exact:
+//!
+//! ```text
+//! magic   8 bytes  "PHISCF1\0"
+//! iter    u64      iterations completed when the checkpoint was taken
+//! n       u64      basis dimension (density is n x n)
+//! n_hist  u64      energy-history length
+//! n_diis  u64      DIIS history length (pairs)
+//! density n*n f64
+//! history n_hist f64
+//! diis    n_diis x (2 * n*n f64)   Fock then error, oldest first
+//! ```
+
+use phi_linalg::Mat;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PHISCF1\0";
+
+/// One SCF iteration's restartable state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScfCheckpoint {
+    /// Iterations completed (the resumed loop starts at this index).
+    pub iteration: usize,
+    /// Density matrix after that iteration's update.
+    pub density: Mat,
+    /// Total energy after each completed iteration.
+    pub energy_history: Vec<f64>,
+    /// DIIS `(Fock, error)` history, oldest first.
+    pub diis: Vec<(Mat, Mat)>,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    for v in vs {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> io::Result<&'a [u8]> {
+        if self.pos + len > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "truncated SCF checkpoint: wanted {len} bytes at offset {}, file has {}",
+                    self.pos,
+                    self.buf.len()
+                ),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f64s(&mut self, count: usize) -> io::Result<Vec<f64>> {
+        let b = self.take(count * 8)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+            .collect())
+    }
+
+    fn mat(&mut self, n: usize) -> io::Result<Mat> {
+        Ok(Mat::from_vec(n, n, self.f64s(n * n)?))
+    }
+}
+
+impl ScfCheckpoint {
+    /// Serialize to the flat binary layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.density.rows();
+        let mut out = Vec::with_capacity(
+            MAGIC.len()
+                + 4 * 8
+                + 8 * (n * n + self.energy_history.len() + 2 * n * n * self.diis.len()),
+        );
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.iteration as u64);
+        put_u64(&mut out, n as u64);
+        put_u64(&mut out, self.energy_history.len() as u64);
+        put_u64(&mut out, self.diis.len() as u64);
+        put_f64s(&mut out, self.density.as_slice());
+        put_f64s(&mut out, &self.energy_history);
+        for (f, e) in &self.diis {
+            put_f64s(&mut out, f.as_slice());
+            put_f64s(&mut out, e.as_slice());
+        }
+        out
+    }
+
+    /// Parse the flat binary layout, validating magic and lengths.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<ScfCheckpoint> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("not an SCF checkpoint: bad magic {magic:?}"),
+            ));
+        }
+        let iteration = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let n_hist = r.u64()? as usize;
+        let n_diis = r.u64()? as usize;
+        let density = r.mat(n)?;
+        let energy_history = r.f64s(n_hist)?;
+        let mut diis = Vec::with_capacity(n_diis);
+        for _ in 0..n_diis {
+            let f = r.mat(n)?;
+            let e = r.mat(n)?;
+            diis.push((f, e));
+        }
+        if r.pos != bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("SCF checkpoint has {} trailing bytes", bytes.len() - r.pos),
+            ));
+        }
+        Ok(ScfCheckpoint { iteration, density, energy_history, diis })
+    }
+
+    /// Write the checkpoint to `path` (atomically enough for tests: a
+    /// single `write` of the full buffer).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()
+    }
+
+    /// Read a checkpoint back from `path`.
+    pub fn load(path: &Path) -> io::Result<ScfCheckpoint> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScfCheckpoint {
+        let n = 3;
+        let d = Mat::from_fn(n, n, |i, j| 0.1 * (i * n + j) as f64 - 0.3);
+        let f = Mat::from_fn(n, n, |i, j| ((i + 2 * j) as f64).sin());
+        let e = Mat::from_fn(n, n, |i, j| ((3 * i + j) as f64).cos() * 1e-5);
+        ScfCheckpoint {
+            iteration: 7,
+            density: d,
+            energy_history: vec![-74.0, -74.9, -74.96123456789],
+            diis: vec![(f.clone(), e.clone()), (e, f)],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_for_bit() {
+        let ck = sample();
+        let back = ScfCheckpoint::from_bytes(&ck.to_bytes()).expect("roundtrip parse");
+        assert_eq!(ck, back);
+        // Bit-level equality, not just PartialEq on f64 (which would accept
+        // -0.0 == 0.0): the resume contract is bit-exact reproduction.
+        for (a, b) in ck.density.as_slice().iter().zip(back.density.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_a_file() {
+        let ck = sample();
+        let path =
+            std::env::temp_dir().join(format!("phiscf_ckpt_test_{}.bin", std::process::id()));
+        ck.save(&path).expect("save checkpoint");
+        let back = ScfCheckpoint::load(&path).expect("load checkpoint");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let ck = sample();
+        let mut bytes = ck.to_bytes();
+        bytes[0] = b'X';
+        assert!(ScfCheckpoint::from_bytes(&bytes).is_err(), "bad magic must be rejected");
+        let bytes = ck.to_bytes();
+        assert!(
+            ScfCheckpoint::from_bytes(&bytes[..bytes.len() - 4]).is_err(),
+            "truncated file must be rejected"
+        );
+        let mut bytes = ck.to_bytes();
+        bytes.push(0);
+        assert!(ScfCheckpoint::from_bytes(&bytes).is_err(), "trailing bytes must be rejected");
+    }
+
+    #[test]
+    fn preserves_nan_and_negative_zero_payloads() {
+        let mut ck = sample();
+        ck.energy_history = vec![f64::NAN, -0.0, f64::INFINITY];
+        let back = ScfCheckpoint::from_bytes(&ck.to_bytes()).expect("parse");
+        assert_eq!(
+            ck.energy_history.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.energy_history.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

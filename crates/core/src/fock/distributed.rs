@@ -19,7 +19,7 @@ use super::engine::FockContext;
 use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_dmpi::DistributedArray;
+use phi_dmpi::{DistributedArray, FaultPlan, LeaseMode};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
@@ -49,7 +49,12 @@ impl FockSink for ScatterSink {
 /// Each rank still shares a read-only density copy (as in the hybrid codes)
 /// but owns only `N^2 / n_ranks` elements of each Fock matrix;
 /// contributions to other ranks' rows travel as `acc` batches.
-pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usize) -> GBuild {
+pub fn build_distributed(
+    ctx: &FockContext<'_>,
+    dens: &DensitySet<'_>,
+    n_ranks: usize,
+    faults: Option<&FaultPlan>,
+) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
     let ns = basis.n_shells();
@@ -57,11 +62,12 @@ pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: 
     let work = dens.prepare();
     let nch = work.n_channels();
     // The distributed Fock matrices: N x N row-major, striped over ranks,
-    // one array per spin channel.
+    // one array per spin channel. Created outside the world, so they
+    // survive rank deaths — flushed contributions are durable.
     let focks: Vec<DistributedArray> =
         (0..nch).map(|_| DistributedArray::new(n * n, n_ranks)).collect();
 
-    let world = phi_dmpi::run_world(n_ranks, |rank| {
+    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
         let start = Instant::now();
         let mut d_local = rank.alloc_f64(nch * n * n);
         match *dens {
@@ -89,12 +95,25 @@ pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: 
         let mut tasks = 0usize;
         let mut flushes = 0u64;
 
-        rank.dlb_reset();
-        loop {
-            let t = rank.dlb_next();
-            if t >= n_pair {
-                break;
-            }
+        // Leases are durable here: flushed contributions persist in the
+        // distributed array, so a dead rank's already-completed tasks are
+        // *not* reissued — only the lease it held at death. That contract
+        // needs flush-then-complete per task, so it is only paid under
+        // fault injection. In a clean run no rank can die, completion is
+        // immediate (a task completed before its flush is still flushed
+        // before the final barrier), and flushes batch every 32 tasks
+        // purely to amortize one-sided calls.
+        let fault_mode = rank.faults_enabled();
+        let mut dead = rank.lease_reset(n_pair, LeaseMode::Durable).is_err();
+        while !dead {
+            let t = match rank.lease_next() {
+                Ok(Some(t)) => t,
+                Ok(None) => break,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            };
             tasks += 1;
             let (i, j) = pair_decode(t);
             for k in 0..=i {
@@ -111,19 +130,36 @@ pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: 
                     computed += 1;
                 }
             }
-            // Periodically flush touched rows so the scatter buffer does not
-            // hold the whole matrix hot (every 32 tasks).
-            if tasks.is_multiple_of(32) {
+            if fault_mode {
+                // Durable completion: this task's rows land in the array
+                // *before* the lease completes, so death never strands a
+                // completed-but-unflushed task.
                 for (fock, sink) in focks.iter().zip(&mut sinks) {
                     flushes += flush_rows(fock, rank.rank(), sink);
                 }
+                rank.lease_complete(t);
+            } else {
+                // Complete eagerly so the last incomplete tasks are never
+                // this rank's own unflushed batch (which would make its
+                // next lease poll wait on itself); flush periodically so
+                // the scatter buffer does not hold the whole matrix hot.
+                rank.lease_complete(t);
+                if tasks.is_multiple_of(32) {
+                    for (fock, sink) in focks.iter().zip(&mut sinks) {
+                        flushes += flush_rows(fock, rank.rank(), sink);
+                    }
+                }
             }
         }
-        for (fock, sink) in focks.iter().zip(&mut sinks) {
-            flushes += flush_rows(fock, rank.rank(), sink);
+        if !dead {
+            for (fock, sink) in focks.iter().zip(&mut sinks) {
+                flushes += flush_rows(fock, rank.rank(), sink);
+            }
+            // Everyone alive must finish accumulating before anyone reads;
+            // dead ranks have deregistered (their unflushed work was
+            // recomputed by survivors) and must stay out.
+            let _ = rank.ft_barrier();
         }
-        // Everyone must finish accumulating before anyone reads.
-        rank.barrier();
         rank.release_bytes(fock_bytes / rank.size() + fock_bytes);
         rank.release_bytes(ctx.pairs.bytes());
 
@@ -141,6 +177,7 @@ pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: 
         )
     });
 
+    let failed = world.failed_ranks();
     let mut stats = FockBuildStats::default();
     let mut remote_bytes = 0u64;
     for (s, rb) in world.per_rank {
@@ -150,6 +187,10 @@ pub fn build_distributed(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: 
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
     stats.dlb_calls = world.dlb_calls;
+    stats.faults_injected = world.faults_injected;
+    stats.tasks_reclaimed = world.tasks_reclaimed;
+    stats.retries = world.lease_retries;
+    stats.failed_ranks = failed;
     // Read the assembled lower triangles back out.
     let mats = focks
         .iter()
@@ -178,6 +219,7 @@ pub fn build_g_distributed(
         &FockContext::new(basis, pairs, screening, tau),
         &DensitySet::Restricted(d),
         n_ranks,
+        None,
     )
 }
 

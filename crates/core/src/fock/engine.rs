@@ -25,6 +25,7 @@
 use super::shared_fock::TaskPrescreen;
 use super::{DensitySet, FockAlgorithm, GBuild};
 use phi_chem::BasisSet;
+use phi_dmpi::FaultPlan;
 use phi_integrals::{Screening, ShellPairs};
 
 /// Borrowed view of everything a Fock build needs besides the density:
@@ -101,11 +102,13 @@ impl FockBuilder for SerialBuilder {
 /// ([`super::mpi_only`]).
 pub struct MpiOnlyBuilder {
     pub n_ranks: usize,
+    /// Deterministic fault plan applied to every build; `None` runs clean.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FockBuilder for MpiOnlyBuilder {
     fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
-        super::mpi_only::build_mpi_only(ctx, dens, self.n_ranks)
+        super::mpi_only::build_mpi_only(ctx, dens, self.n_ranks, self.faults.as_ref())
     }
 
     fn label(&self) -> &'static str {
@@ -118,11 +121,19 @@ impl FockBuilder for MpiOnlyBuilder {
 pub struct PrivateFockBuilder {
     pub n_ranks: usize,
     pub n_threads: usize,
+    /// Deterministic fault plan applied to every build; `None` runs clean.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FockBuilder for PrivateFockBuilder {
     fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
-        super::private_fock::build_private_fock(ctx, dens, self.n_ranks, self.n_threads)
+        super::private_fock::build_private_fock(
+            ctx,
+            dens,
+            self.n_ranks,
+            self.n_threads,
+            self.faults.as_ref(),
+        )
     }
 
     fn label(&self) -> &'static str {
@@ -138,12 +149,20 @@ pub struct SharedFockBuilder {
     pub n_threads: usize,
     pub prescreen: TaskPrescreen,
     pub lazy_fi: bool,
+    /// Deterministic fault plan applied to every build; `None` runs clean.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SharedFockBuilder {
     /// The paper's default configuration: QMax task prescreen, lazy FI.
     pub fn new(n_ranks: usize, n_threads: usize) -> SharedFockBuilder {
-        SharedFockBuilder { n_ranks, n_threads, prescreen: TaskPrescreen::QMax, lazy_fi: true }
+        SharedFockBuilder {
+            n_ranks,
+            n_threads,
+            prescreen: TaskPrescreen::QMax,
+            lazy_fi: true,
+            faults: None,
+        }
     }
 }
 
@@ -156,6 +175,7 @@ impl FockBuilder for SharedFockBuilder {
             self.n_threads,
             self.prescreen,
             self.lazy_fi,
+            self.faults.as_ref(),
         )
     }
 
@@ -168,11 +188,13 @@ impl FockBuilder for SharedFockBuilder {
 /// accumulates ([`super::distributed`]).
 pub struct DistributedBuilder {
     pub n_ranks: usize,
+    /// Deterministic fault plan applied to every build; `None` runs clean.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FockBuilder for DistributedBuilder {
     fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
-        super::distributed::build_distributed(ctx, dens, self.n_ranks)
+        super::distributed::build_distributed(ctx, dens, self.n_ranks, self.faults.as_ref())
     }
 
     fn label(&self) -> &'static str {
@@ -181,18 +203,30 @@ impl FockBuilder for DistributedBuilder {
 }
 
 impl FockAlgorithm {
-    /// The [`FockBuilder`] implementing this algorithm.
+    /// The [`FockBuilder`] implementing this algorithm (no fault plan).
     pub fn builder(self) -> Box<dyn FockBuilder> {
+        self.builder_with_faults(None)
+    }
+
+    /// The [`FockBuilder`] implementing this algorithm under `faults`.
+    ///
+    /// The serial reference build runs in-process with no ranks to kill;
+    /// it ignores the plan. Every parallel builder threads it into its
+    /// world so rank kills, stragglers and message faults replay
+    /// deterministically on each SCF iteration.
+    pub fn builder_with_faults(self, faults: Option<FaultPlan>) -> Box<dyn FockBuilder> {
         match self {
             FockAlgorithm::Serial => Box::new(SerialBuilder),
-            FockAlgorithm::MpiOnly { n_ranks } => Box::new(MpiOnlyBuilder { n_ranks }),
+            FockAlgorithm::MpiOnly { n_ranks } => Box::new(MpiOnlyBuilder { n_ranks, faults }),
             FockAlgorithm::PrivateFock { n_ranks, n_threads } => {
-                Box::new(PrivateFockBuilder { n_ranks, n_threads })
+                Box::new(PrivateFockBuilder { n_ranks, n_threads, faults })
             }
             FockAlgorithm::SharedFock { n_ranks, n_threads } => {
-                Box::new(SharedFockBuilder::new(n_ranks, n_threads))
+                Box::new(SharedFockBuilder { faults, ..SharedFockBuilder::new(n_ranks, n_threads) })
             }
-            FockAlgorithm::Distributed { n_ranks } => Box::new(DistributedBuilder { n_ranks }),
+            FockAlgorithm::Distributed { n_ranks } => {
+                Box::new(DistributedBuilder { n_ranks, faults })
+            }
         }
     }
 }

@@ -83,7 +83,9 @@ impl GBuild {
     /// alpha/beta).
     pub fn from_channels(mats: Vec<Mat>, stats: FockBuildStats) -> GBuild {
         let mut it = mats.into_iter();
-        let g = it.next().expect("at least one spin channel");
+        let g = it
+            .next()
+            .expect("from_channels needs at least one spin-channel matrix (got an empty vec)");
         GBuild { g, g_beta: it.next(), stats }
     }
 }

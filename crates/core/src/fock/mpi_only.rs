@@ -14,6 +14,7 @@ use super::engine::FockContext;
 use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
+use phi_dmpi::{FaultPlan, LeaseMode};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
@@ -28,8 +29,16 @@ fn replicated_readonly_bytes(n: usize) -> usize {
 }
 
 /// Build the two-electron matrices for `dens` with Algorithm 1 over
-/// `n_ranks` ranks.
-pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usize) -> GBuild {
+/// `n_ranks` ranks, optionally under deterministic fault injection.
+/// Tasks leased to a rank that dies mid-build are reclaimed and
+/// recomputed by survivors, so the result matches serial regardless of
+/// how many (< all) ranks fail.
+pub fn build_mpi_only(
+    ctx: &FockContext<'_>,
+    dens: &DensitySet<'_>,
+    n_ranks: usize,
+    faults: Option<&FaultPlan>,
+) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
     let ns = basis.n_shells();
@@ -37,7 +46,7 @@ pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usi
     let work = dens.prepare();
     let nch = work.n_channels();
 
-    let world = phi_dmpi::run_world(n_ranks, |rank| {
+    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
         let start = Instant::now();
         // Replicated data structures, one full set per rank (the paper's
         // memory bottleneck): every spin-channel density plus the
@@ -62,15 +71,22 @@ pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usi
         let mut screened = 0u64;
         let mut tasks = 0usize;
 
-        rank.dlb_reset();
-        {
+        // Fock accumulators are volatile: a dead rank's partial sums
+        // never reach the reduction, so everything it ever computed is
+        // reissued to survivors.
+        let mut dead = rank.lease_reset(n_pair, LeaseMode::Volatile).is_err();
+        if !dead {
             let mut sinks: Vec<TriSink<'_>> =
                 fock.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
             loop {
-                let t = rank.dlb_next();
-                if t >= n_pair {
-                    break;
-                }
+                let t = match rank.lease_next() {
+                    Ok(Some(t)) => t,
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                };
                 tasks += 1;
                 let (i, j) = pair_decode(t);
                 for k in 0..=i {
@@ -87,16 +103,20 @@ pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usi
                         computed += 1;
                     }
                 }
+                rank.lease_complete(t);
             }
         }
 
-        // 2e-Fock matrix reduction over MPI ranks (Algorithm 1 line 16) —
-        // one collective covering every spin channel.
-        rank.gsumf(&mut fock);
+        // 2e-Fock matrix reduction over the surviving MPI ranks
+        // (Algorithm 1 line 16) — one collective covering every spin
+        // channel. Dead ranks have deregistered and must stay out.
+        if !dead {
+            dead = rank.try_gsumf(&mut fock).is_err();
+        }
 
         rank.release_bytes(replicated_readonly_bytes(n));
         rank.release_bytes(ctx.pairs.bytes());
-        let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
+        let result = if !dead && rank.is_lowest_live() { Some(fock.to_vec()) } else { None };
         (
             result,
             FockBuildStats {
@@ -110,6 +130,7 @@ pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usi
         )
     });
 
+    let failed = world.failed_ranks();
     let mut stats = FockBuildStats::default();
     let mut g_buf = None;
     for (buf, s) in world.per_rank {
@@ -121,7 +142,13 @@ pub fn build_mpi_only(ctx: &FockContext<'_>, dens: &DensitySet<'_>, n_ranks: usi
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
     stats.dlb_calls = world.dlb_calls;
-    let bufs = g_buf.expect("rank 0 returns the reduced Fock");
+    stats.faults_injected = world.faults_injected;
+    stats.tasks_reclaimed = world.tasks_reclaimed;
+    stats.retries = world.lease_retries;
+    stats.failed_ranks = failed.clone();
+    let bufs = g_buf.unwrap_or_else(|| {
+        panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
+    });
     GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
 }
 
@@ -138,6 +165,7 @@ pub fn build_g_mpi_only(
         &FockContext::new(basis, pairs, screening, tau),
         &DensitySet::Restricted(d),
         n_ranks,
+        None,
     )
 }
 

@@ -13,6 +13,7 @@ use super::engine::FockContext;
 use super::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, TriSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
+use phi_dmpi::{FaultPlan, LeaseMode};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{Schedule, Team};
@@ -20,6 +21,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 pub use super::GBuild;
+
+/// Sentinel the master stores when every task is complete.
+pub(crate) const TASK_DONE: usize = usize::MAX;
+/// Sentinel the master stores when its rank has been killed: the whole
+/// thread team unwinds cleanly at the next barrier.
+pub(crate) const TASK_DEAD: usize = usize::MAX - 1;
 
 /// Replicated read-only matrices per *rank* (S, H, C) — one set per rank,
 /// not per thread, which is the first memory win over Algorithm 1.
@@ -34,6 +41,7 @@ pub fn build_private_fock(
     dens: &DensitySet<'_>,
     n_ranks: usize,
     n_threads: usize,
+    faults: Option<&FaultPlan>,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -41,7 +49,7 @@ pub fn build_private_fock(
     let work = dens.prepare();
     let nch = work.n_channels();
 
-    let world = phi_dmpi::run_world(n_ranks, |rank| {
+    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
         let start = Instant::now();
         // One shared copy of each spin-channel density per rank (threads
         // read them concurrently).
@@ -60,7 +68,10 @@ pub fn build_private_fock(
 
         let team = Team::new(n_threads);
         let current_i = AtomicUsize::new(0);
-        rank.dlb_reset();
+        // If this errors the rank is already doomed; the master's first
+        // lease claim below observes the same condition and unwinds the
+        // whole team cleanly.
+        let _ = rank.lease_reset(ns, LeaseMode::Volatile);
 
         let thread_results = team.parallel(|tctx| {
             // Thread-private Fock matrices (one per spin channel) — the
@@ -77,9 +88,28 @@ pub fn build_private_fock(
             {
                 let mut sinks: Vec<TriSink<'_>> =
                     fock.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+                let mut prev_task: Option<usize> = None;
                 loop {
-                    // Master pulls the next i index (Algorithm 2 lines 3-6).
-                    tctx.master(|| current_i.store(rank.dlb_next(), Ordering::SeqCst));
+                    // Master pulls the next i lease (Algorithm 2 lines
+                    // 3-6). The previous task only counts as complete
+                    // here, after collapse2's trailing barrier proved
+                    // the whole team finished it. A kill fires inside
+                    // the claim, so the master then broadcasts the DEAD
+                    // sentinel and every thread unwinds at the barrier.
+                    tctx.master(|| {
+                        if let Some(p) = prev_task.take() {
+                            rank.lease_complete(p);
+                        }
+                        let next = match rank.lease_next() {
+                            Ok(Some(t)) => {
+                                prev_task = Some(t);
+                                t
+                            }
+                            Ok(None) => TASK_DONE,
+                            Err(_) => TASK_DEAD,
+                        };
+                        current_i.store(next, Ordering::SeqCst);
+                    });
                     tctx.barrier();
                     let i = current_i.load(Ordering::SeqCst);
                     if i >= ns {
@@ -129,15 +159,21 @@ pub fn build_private_fock(
         }
         rank.release_bytes(n_threads * nch * n * n * std::mem::size_of::<f64>());
 
-        // 2e-Fock matrix reduction over MPI (line 23).
-        rank.gsumf(&mut fock);
+        // 2e-Fock matrix reduction over the surviving MPI ranks (line
+        // 23). A killed rank's team unwound via the DEAD sentinel; its
+        // partial sums die here with it and its leases were reissued.
+        let mut dead = !rank.alive();
+        if !dead {
+            dead = rank.try_gsumf(&mut fock).is_err();
+        }
         rank.release_bytes(replicated_readonly_bytes(n));
         rank.release_bytes(ctx.pairs.bytes());
         stats.seconds = start.elapsed().as_secs_f64();
-        let result = if rank.is_root() { Some(fock.to_vec()) } else { None };
+        let result = if !dead && rank.is_lowest_live() { Some(fock.to_vec()) } else { None };
         (result, stats)
     });
 
+    let failed = world.failed_ranks();
     let mut stats = FockBuildStats::default();
     let mut g_buf = None;
     for (buf, s) in world.per_rank {
@@ -149,7 +185,13 @@ pub fn build_private_fock(
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
     stats.dlb_calls = world.dlb_calls;
-    let bufs = g_buf.expect("rank 0 returns the reduced Fock");
+    stats.faults_injected = world.faults_injected;
+    stats.tasks_reclaimed = world.tasks_reclaimed;
+    stats.retries = world.lease_retries;
+    stats.failed_ranks = failed.clone();
+    let bufs = g_buf.unwrap_or_else(|| {
+        panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
+    });
     GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
 }
 
@@ -168,6 +210,7 @@ pub fn build_g_private_fock(
         &DensitySet::Restricted(d),
         n_ranks,
         n_threads,
+        None,
     )
 }
 

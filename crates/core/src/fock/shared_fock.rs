@@ -22,9 +22,11 @@
 //! costly top loop vanish for sparse systems.
 
 use super::engine::FockContext;
+use super::private_fock::{TASK_DEAD, TASK_DONE};
 use super::{digest_quartet_dens, pair_decode, pair_index, tri_to_full, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
+use phi_dmpi::{FaultPlan, LeaseMode};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{PaddedColumns, Schedule, SharedAccumulator, Team};
@@ -128,12 +130,14 @@ pub fn build_g_shared_fock_opt(
         n_threads,
         prescreen,
         lazy_fi,
+        None,
     )
 }
 
 /// Spin-generalized Algorithm 3: one shared Fock matrix and one FI/FJ
 /// buffer pair per spin channel; every quartet is digested into all
 /// channels before the shared kl element leaves the thread.
+#[allow(clippy::too_many_arguments)]
 pub fn build_shared_fock_set(
     ctx: &FockContext<'_>,
     dens: &DensitySet<'_>,
@@ -141,6 +145,7 @@ pub fn build_shared_fock_set(
     n_threads: usize,
     prescreen: TaskPrescreen,
     lazy_fi: bool,
+    faults: Option<&FaultPlan>,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -150,7 +155,7 @@ pub fn build_shared_fock_set(
     let work = dens.prepare();
     let nch = work.n_channels();
 
-    let world = phi_dmpi::run_world(n_ranks, |rank| {
+    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
         let start = Instant::now();
         let mut d_rank = rank.alloc_f64(nch * n * n);
         match *dens {
@@ -179,7 +184,10 @@ pub fn build_shared_fock_set(
 
         let team = Team::new(n_threads);
         let current_ij = AtomicUsize::new(0);
-        rank.dlb_reset();
+        // If this errors the rank is already doomed; the master's first
+        // lease claim below observes the same condition and unwinds the
+        // whole team cleanly.
+        let _ = rank.lease_reset(n_pair, LeaseMode::Volatile);
 
         let thread_stats = team.parallel(|tctx| {
             let mut engine = EriEngine::new();
@@ -206,9 +214,28 @@ pub fn build_shared_fock_set(
                 }
             };
 
+            let mut prev_task: Option<usize> = None;
             loop {
-                // Master pulls the next combined ij index (lines 7-10).
-                tctx.master(|| current_ij.store(rank.dlb_next(), Ordering::SeqCst));
+                // Master pulls the next combined ij lease (lines 7-10).
+                // The previous task only counts as complete here — after
+                // the trailing barrier of its kl loop (or the prescreen
+                // path's explicit barrier) proved the team finished it.
+                // A kill fires inside the claim; the master then
+                // broadcasts the DEAD sentinel and the team unwinds.
+                tctx.master(|| {
+                    if let Some(p) = prev_task.take() {
+                        rank.lease_complete(p);
+                    }
+                    let next = match rank.lease_next() {
+                        Ok(Some(t)) => {
+                            prev_task = Some(t);
+                            t
+                        }
+                        Ok(None) => TASK_DONE,
+                        Err(_) => TASK_DEAD,
+                    };
+                    current_ij.store(next, Ordering::SeqCst);
+                });
                 tctx.barrier();
                 let ij = current_ij.load(Ordering::SeqCst);
                 if ij >= n_pair {
@@ -311,13 +338,17 @@ pub fn build_shared_fock_set(
             }
         });
 
-        // 2e-Fock reduction over MPI ranks (line 38) — one collective
-        // covering every spin channel.
+        // 2e-Fock reduction over the surviving MPI ranks (line 38) — one
+        // collective covering every spin channel. A killed rank's shared
+        // Fock is abandoned here; its leases were reissued to survivors.
+        let mut dead = !rank.alive();
         let mut fbuf: Vec<f64> = Vec::with_capacity(nch * n * n);
         for fock in &focks {
             fbuf.extend(fock.snapshot());
         }
-        rank.gsumf(&mut fbuf);
+        if !dead {
+            dead = rank.try_gsumf(&mut fbuf).is_err();
+        }
 
         rank.release_bytes(fis.iter().chain(&fjs).map(|p| p.bytes()).sum());
         rank.release_bytes(nch * n * n * std::mem::size_of::<f64>());
@@ -329,10 +360,11 @@ pub fn build_shared_fock_set(
             stats = FockBuildStats::merge(stats, ts);
         }
         stats.seconds = start.elapsed().as_secs_f64();
-        let result = if rank.is_root() { Some(fbuf) } else { None };
+        let result = if !dead && rank.is_lowest_live() { Some(fbuf) } else { None };
         (result, stats)
     });
 
+    let failed = world.failed_ranks();
     let mut stats = FockBuildStats::default();
     let mut g_buf = None;
     for (buf, s) in world.per_rank {
@@ -344,7 +376,13 @@ pub fn build_shared_fock_set(
     stats.memory_total_peak = world.memory.total_peak();
     stats.per_rank_peak = world.memory.per_rank_peak.clone();
     stats.dlb_calls = world.dlb_calls;
-    let bufs = g_buf.expect("rank 0 returns the reduced Fock");
+    stats.faults_injected = world.faults_injected;
+    stats.tasks_reclaimed = world.tasks_reclaimed;
+    stats.retries = world.lease_retries;
+    stats.failed_ranks = failed.clone();
+    let bufs = g_buf.unwrap_or_else(|| {
+        panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
+    });
     GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
 }
 

@@ -34,6 +34,7 @@
 //! convergence on the density RMS — and reports per-iteration Fock timings
 //! and the per-rank memory accounting that reproduce the paper's tables.
 
+pub mod checkpoint;
 pub mod diis;
 pub mod fock;
 pub mod guess;
@@ -46,6 +47,7 @@ pub mod scf;
 pub mod stats;
 pub mod uhf;
 
+pub use checkpoint::ScfCheckpoint;
 pub use fock::engine::{FockBuilder, FockContext, FockData};
 pub use fock::{DensitySet, FockAlgorithm, GBuild};
 pub use incore::IncoreEris;
@@ -53,6 +55,6 @@ pub use memory_model::MemoryModel;
 pub use mp2::{mp2_energy, Mp2Result};
 pub use properties::{dipole_moment, mulliken_charges, Dipole};
 pub use purification::{purify_density, purify_density_threaded, Purification};
-pub use scf::{run_scf, ScfConfig, ScfResult};
+pub use scf::{run_scf, ScfConfig, ScfResult, ScfStop};
 pub use stats::FockBuildStats;
 pub use uhf::{mulliken_spin_populations, run_uhf, UhfConfig, UhfResult};

@@ -6,14 +6,17 @@
 //! The two-electron Fock build — the paper's entire subject — is delegated
 //! to the algorithm selected in [`ScfConfig`].
 
+use crate::checkpoint::ScfCheckpoint;
 use crate::diis::Diis;
 use crate::fock::engine::{FockBuilder, FockData};
 use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{core_guess, density_from_orbitals, solve_roothaan};
 use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
+use phi_dmpi::FaultPlan;
 use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
 use phi_linalg::{sym_inv_sqrt, Mat};
+use std::path::PathBuf;
 
 /// SCF configuration.
 #[derive(Clone, Debug)]
@@ -42,6 +45,15 @@ pub struct ScfConfig {
     /// [`FockAlgorithm`] — when the integrals fit, the replay builder is
     /// used regardless of which direct algorithm was selected.
     pub incore_max_bytes: Option<usize>,
+    /// Deterministic fault plan replayed on every Fock build (rank kills,
+    /// stragglers, message faults). The serial algorithm ignores it.
+    pub faults: Option<FaultPlan>,
+    /// Write an [`ScfCheckpoint`] here after every iteration.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from a previously written checkpoint instead of the core
+    /// guess; the resumed run reproduces the uninterrupted one bit-for-bit
+    /// (for deterministic builds, i.e. [`FockAlgorithm::Serial`]).
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for ScfConfig {
@@ -56,7 +68,58 @@ impl Default for ScfConfig {
             damping: None,
             level_shift: None,
             incore_max_bytes: None,
+            faults: None,
+            checkpoint_path: None,
+            resume_from: None,
         }
+    }
+}
+
+/// Why an SCF run stopped iterating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScfStop {
+    /// Density RMS change fell below the threshold.
+    Converged,
+    /// Ran out of iterations without converging or diverging.
+    MaxIterations,
+    /// The energy became NaN or infinite.
+    NumericalDivergence,
+    /// The energy locked into a 2-cycle (classic charge-sloshing
+    /// oscillation) instead of settling.
+    Oscillation,
+}
+
+/// Incremental divergence detector over the per-iteration energy history.
+///
+/// Terminates runs that will never converge instead of burning the full
+/// iteration budget: NaN/±inf energies stop immediately; an exact 2-cycle
+/// (`|E_k - E_{k-2}|` at noise level while `|E_k - E_{k-1}|` stays large)
+/// sustained for [`Self::OSC_STREAK`] iterations is flagged as oscillation.
+pub(crate) struct DivergenceDetector {
+    streak: usize,
+}
+
+impl DivergenceDetector {
+    /// Consecutive 2-cycle iterations required before declaring
+    /// oscillation (one or two near-repeats happen in healthy runs).
+    const OSC_STREAK: usize = 4;
+
+    pub(crate) fn new() -> DivergenceDetector {
+        DivergenceDetector { streak: 0 }
+    }
+
+    /// Feed the history as of this iteration (last element = newest
+    /// energy); returns a stop reason once divergence is established.
+    pub(crate) fn check(&mut self, history: &[f64]) -> Option<ScfStop> {
+        let k = history.len();
+        let e = history[k - 1];
+        if !e.is_finite() {
+            return Some(ScfStop::NumericalDivergence);
+        }
+        let two_cycle =
+            k >= 3 && (e - history[k - 3]).abs() < 1e-13 && (e - history[k - 2]).abs() > 1e-8;
+        self.streak = if two_cycle { self.streak + 1 } else { 0 };
+        (self.streak >= Self::OSC_STREAK).then_some(ScfStop::Oscillation)
     }
 }
 
@@ -68,6 +131,9 @@ pub struct ScfResult {
     pub electronic_energy: f64,
     pub nuclear_repulsion: f64,
     pub converged: bool,
+    /// Why the iteration loop stopped ([`ScfStop::Converged`] iff
+    /// `converged`).
+    pub stop_reason: ScfStop,
     pub iterations: usize,
     /// Total energy after each iteration.
     pub energy_history: Vec<f64>,
@@ -100,7 +166,12 @@ impl ScfResult {
 pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResult {
     let n = basis.n_basis();
     let n_occ = mol.n_occupied();
-    assert!(n_occ <= n, "{n_occ} occupied orbitals need at least {n_occ} basis functions");
+    assert!(
+        n_occ <= n,
+        "basis too small: {n_occ} occupied orbitals but only {n} basis functions \
+         ({} shells) — pick a larger basis set",
+        basis.n_shells()
+    );
 
     // One-electron groundwork.
     let s = overlap_matrix(basis);
@@ -125,24 +196,43 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
             max,
         )
     });
-    let direct = config.algorithm.builder();
+    let direct = config.algorithm.builder_with_faults(config.faults.clone());
     let builder: &dyn FockBuilder = match &incore {
         Some(eris) => eris,
         None => direct.as_ref(),
     };
 
-    // Initial guess.
+    // Initial guess — or the checkpointed state of an interrupted run.
     let mut d = core_guess(&h, &x, n_occ);
     let mut diis = Diis::new(8);
     let mut energy_history = Vec::new();
+    let mut start_iter = 0;
+    if let Some(path) = &config.resume_from {
+        let ck = ScfCheckpoint::load(path).unwrap_or_else(|e| {
+            panic!("failed to resume SCF from checkpoint {}: {e}", path.display())
+        });
+        assert_eq!(
+            ck.density.rows(),
+            n,
+            "checkpoint {} was taken with {} basis functions, this run has {n}",
+            path.display(),
+            ck.density.rows()
+        );
+        d = ck.density;
+        diis.restore(ck.diis);
+        energy_history = ck.energy_history;
+        start_iter = ck.iteration;
+    }
     let mut fock_stats = Vec::new();
     let mut converged = false;
-    let mut iterations = 0;
+    let mut stop_reason = ScfStop::MaxIterations;
+    let mut divergence = DivergenceDetector::new();
+    let mut iterations = start_iter;
     let mut orbital_energies = Vec::new();
     let mut orbitals = Mat::zeros(n, n);
     let mut e_elec = 0.0;
 
-    for it in 0..config.max_iterations {
+    for it in start_iter..config.max_iterations {
         iterations = it + 1;
         let gb = builder.build(&ctx, &DensitySet::Restricted(&d));
         fock_stats.push(gb.stats);
@@ -152,6 +242,10 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
         // E_elec = 1/2 sum_ij D_ij (H_ij + F_ij).
         e_elec = 0.5 * (d.dot(&h) + d.dot(&f));
         energy_history.push(e_elec + e_nn);
+        if let Some(stop) = divergence.check(&energy_history) {
+            stop_reason = stop;
+            break;
+        }
 
         let mut f_use = if config.diis {
             let err = Diis::error_vector(&f, &d, &s, &x);
@@ -172,7 +266,10 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
         let (eps, c) = solve_roothaan(&f_use, &x);
         let mut d_new = density_from_orbitals(&c, n_occ);
         if let Some(alpha) = config.damping {
-            assert!((0.0..1.0).contains(&alpha), "damping factor must be in [0, 1)");
+            assert!(
+                (0.0..1.0).contains(&alpha),
+                "damping factor {alpha} out of range: must be in [0, 1)"
+            );
             d_new.scale(1.0 - alpha);
             d_new.axpy(alpha, &d);
         }
@@ -183,17 +280,42 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
         let diff = d_new.sub(&d);
         let rms = diff.frobenius_norm() / (n as f64);
         d = d_new;
+
+        // Checkpoint the post-update state: density, DIIS history, energy
+        // history. A run resumed from here replays iteration it+1 onward
+        // exactly.
+        if let Some(path) = &config.checkpoint_path {
+            let ck = ScfCheckpoint {
+                iteration: iterations,
+                density: d.clone(),
+                energy_history: energy_history.clone(),
+                diis: diis.snapshot(),
+            };
+            ck.save(path).unwrap_or_else(|e| {
+                panic!("failed to write SCF checkpoint to {}: {e}", path.display())
+            });
+        }
+
         if rms < config.convergence {
             converged = true;
+            stop_reason = ScfStop::Converged;
             break;
         }
     }
 
+    // A run resumed at/after max_iterations never enters the loop; report
+    // the checkpointed energy rather than a stale zero.
+    let energy = if iterations == start_iter {
+        energy_history.last().copied().unwrap_or(e_nn)
+    } else {
+        e_elec + e_nn
+    };
     ScfResult {
-        energy: e_elec + e_nn,
-        electronic_energy: e_elec,
+        energy,
+        electronic_energy: energy - e_nn,
         nuclear_repulsion: e_nn,
         converged,
+        stop_reason,
         iterations,
         energy_history,
         fock_stats,
@@ -440,6 +562,104 @@ mod tests {
         let first = r.energy_history[0];
         let last = *r.energy_history.last().unwrap();
         assert!(last < first, "SCF should lower the energy ({first} -> {last})");
+    }
+
+    #[test]
+    fn converged_run_reports_converged_stop_reason() {
+        let r = scf(&small::water(), BasisName::Sto3g, &ScfConfig::default());
+        assert!(r.converged);
+        assert_eq!(r.stop_reason, ScfStop::Converged);
+        let capped = scf(
+            &small::water(),
+            BasisName::Sto3g,
+            &ScfConfig { max_iterations: 2, ..Default::default() },
+        );
+        assert!(!capped.converged);
+        assert_eq!(capped.stop_reason, ScfStop::MaxIterations);
+    }
+
+    #[test]
+    fn divergence_detector_flags_nan_immediately() {
+        let mut det = DivergenceDetector::new();
+        assert_eq!(det.check(&[-74.0]), None);
+        assert_eq!(det.check(&[-74.0, f64::NAN]), Some(ScfStop::NumericalDivergence));
+        let mut det = DivergenceDetector::new();
+        assert_eq!(det.check(&[f64::INFINITY]), Some(ScfStop::NumericalDivergence));
+    }
+
+    #[test]
+    fn divergence_detector_flags_sustained_two_cycles_only() {
+        // A perfect 2-cycle: ... a, b, a, b ... with |a-b| large.
+        let mut det = DivergenceDetector::new();
+        let (a, b) = (-74.0, -73.0);
+        let mut hist = vec![a, b];
+        let mut stopped = None;
+        for _ in 0..10 {
+            hist.push(hist[hist.len() - 2]);
+            if let Some(s) = det.check(&hist) {
+                stopped = Some(s);
+                break;
+            }
+        }
+        assert_eq!(stopped, Some(ScfStop::Oscillation));
+
+        // A healthy converging sequence never trips the detector.
+        let mut det = DivergenceDetector::new();
+        let mut hist = Vec::new();
+        for k in 0..30 {
+            hist.push(-74.0 - 0.9f64.powi(k));
+            assert_eq!(det.check(&hist), None, "converging run flagged at iter {k}");
+        }
+
+        // A brief 2-cycle that breaks before the streak threshold is fine.
+        let mut det = DivergenceDetector::new();
+        let hist = [a, b, a, b, a, -74.5, -74.6];
+        for k in 1..=hist.len() {
+            assert_eq!(det.check(&hist[..k]), None, "short 2-cycle flagged at len {k}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_energy_bit_for_bit() {
+        let mol = small::water();
+        let full = scf(&mol, BasisName::Sto3g, &ScfConfig::default());
+        assert!(full.converged);
+
+        // Interrupted run: stop after 4 iterations, checkpointing each one.
+        let path =
+            std::env::temp_dir().join(format!("phiscf_resume_test_{}.ckpt", std::process::id()));
+        let interrupted = scf(
+            &mol,
+            BasisName::Sto3g,
+            &ScfConfig {
+                max_iterations: 4,
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+        assert!(!interrupted.converged, "4 iterations must not be enough");
+
+        // Resume and run to convergence.
+        let resumed = scf(
+            &mol,
+            BasisName::Sto3g,
+            &ScfConfig { resume_from: Some(path.clone()), ..Default::default() },
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(resumed.converged);
+        assert_eq!(
+            resumed.energy.to_bits(),
+            full.energy.to_bits(),
+            "resumed {} vs uninterrupted {} must agree bit-for-bit",
+            resumed.energy,
+            full.energy
+        );
+        assert_eq!(resumed.iterations, full.iterations);
+        // The stitched history matches the uninterrupted one exactly.
+        assert_eq!(resumed.energy_history.len(), full.energy_history.len());
+        for (k, (r, f)) in resumed.energy_history.iter().zip(&full.energy_history).enumerate() {
+            assert_eq!(r.to_bits(), f.to_bits(), "iteration {k}: {r} vs {f}");
+        }
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub struct FockBuildStats {
     pub memory_total_peak: usize,
     /// Peak tracked bytes per rank.
     pub per_rank_peak: Vec<usize>,
+    /// Faults injected by the world's `FaultPlan` during this build
+    /// (rank kills, stragglers, message faults). World-global, set once
+    /// per build like `dlb_calls`; zero without fault injection.
+    pub faults_injected: usize,
+    /// Tasks reclaimed from dead ranks and reissued to survivors.
+    /// World-global, set once per build.
+    pub tasks_reclaimed: usize,
+    /// Lease claims served from the reissue queue — recovery work
+    /// re-executed by surviving ranks. World-global, set once per build.
+    pub retries: usize,
+    /// Ranks that died during this build, in order of death.
+    pub failed_ranks: Vec<usize>,
 }
 
 impl FockBuildStats {

@@ -18,8 +18,10 @@
 use crate::fock::engine::FockData;
 use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{density_from_orbitals, solve_roothaan};
+use crate::scf::{DivergenceDetector, ScfStop};
 use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
+use phi_dmpi::FaultPlan;
 use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
 use phi_linalg::{sym_inv_sqrt, Mat};
 
@@ -36,6 +38,9 @@ pub struct UhfConfig {
     /// Mix the alpha HOMO/LUMO of the initial guess to break spin symmetry
     /// (needed to reach broken-symmetry solutions, e.g. stretched H2).
     pub break_symmetry: bool,
+    /// Deterministic fault plan replayed on every spin-Fock build. The
+    /// serial algorithm ignores it.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for UhfConfig {
@@ -47,6 +52,7 @@ impl Default for UhfConfig {
             max_iterations: 200,
             s_threshold: 1e-8,
             break_symmetry: false,
+            faults: None,
         }
     }
 }
@@ -56,6 +62,9 @@ impl Default for UhfConfig {
 pub struct UhfResult {
     pub energy: f64,
     pub converged: bool,
+    /// Why the iteration loop stopped ([`ScfStop::Converged`] iff
+    /// `converged`).
+    pub stop_reason: ScfStop,
     pub iterations: usize,
     /// `<S^2>` expectation value (spin contamination diagnostic).
     pub s_squared: f64,
@@ -93,7 +102,7 @@ pub fn run_uhf(
     let x = sym_inv_sqrt(&s, config.s_threshold);
     let data = FockData::build(basis);
     let ctx = data.context(basis, config.screening_tau);
-    let builder = config.algorithm.builder();
+    let builder = config.algorithm.builder_with_faults(config.faults.clone());
     let e_nn = mol.nuclear_repulsion();
 
     // Core guess for both spins.
@@ -114,6 +123,9 @@ pub fn run_uhf(
     let mut d_b = if n_beta > 0 { spin_density(&c_beta, n_beta) } else { Mat::zeros(n, n) };
 
     let mut converged = false;
+    let mut stop_reason = ScfStop::MaxIterations;
+    let mut divergence = DivergenceDetector::new();
+    let mut energy_history = Vec::new();
     let mut iterations = 0;
     let mut energy = 0.0;
     let mut eps_a = Vec::new();
@@ -128,7 +140,13 @@ pub fn run_uhf(
         // evaluated once and digested into both channels,
         // G_s = J(D_a + D_b) - K(D_s).
         let gb = builder.build(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b });
-        let g_b = gb.g_beta.expect("unrestricted build returns a beta channel");
+        let g_b = gb.g_beta.unwrap_or_else(|| {
+            panic!(
+                "Fock builder '{}' returned no beta channel for an unrestricted \
+                 density — every builder must digest both spin channels",
+                builder.label()
+            )
+        });
         let mut f_a = h.add(&gb.g);
         let mut f_b = h.add(&g_b);
         fock_stats.push(gb.stats);
@@ -138,6 +156,11 @@ pub fn run_uhf(
         // E = 1/2 [ D_t . H + D_a . F_a + D_b . F_b ] + E_nn
         let d_t = d_a.add(&d_b);
         energy = 0.5 * (d_t.dot(&h) + d_a.dot(&f_a) + d_b.dot(&f_b)) + e_nn;
+        energy_history.push(energy);
+        if let Some(stop) = divergence.check(&energy_history) {
+            stop_reason = stop;
+            break;
+        }
 
         let (ea, ca) = solve_roothaan(&f_a, &x);
         let (eb, cb) = solve_roothaan(&f_b, &x);
@@ -154,6 +177,7 @@ pub fn run_uhf(
         d_b = d_b_new;
         if rms < config.convergence {
             converged = true;
+            stop_reason = ScfStop::Converged;
             break;
         }
     }
@@ -171,6 +195,7 @@ pub fn run_uhf(
     UhfResult {
         energy,
         converged,
+        stop_reason,
         iterations,
         s_squared: s2,
         orbital_energies_alpha: eps_a,

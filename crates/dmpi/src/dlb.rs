@@ -34,6 +34,14 @@ impl Dlb {
         self.counter.store(0, Ordering::SeqCst);
     }
 
+    /// Record a task-counter call made through another dispenser (the
+    /// fault-tolerant lease table routes claims here so DLB call
+    /// accounting stays uniform across both code paths).
+    #[inline]
+    pub fn note_call(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn calls_made(&self) -> usize {
         self.calls.load(Ordering::Relaxed)
     }

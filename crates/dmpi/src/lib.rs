@@ -22,12 +22,19 @@
 //!   MPI-3 one-sided distinction the paper discusses in §6.2 (data servers
 //!   double the process count per node and hence the replicated footprint).
 
+//! * **Failure is a first-class input.** [`fault::FaultPlan`] schedules
+//!   deterministic rank kills, stragglers and message faults;
+//!   [`fault::TaskLeases`] and the failure-aware barrier/reduction let
+//!   survivors reclaim a dead rank's tasks and finish the computation.
+
 pub mod ddi;
 pub mod dlb;
+pub mod fault;
 pub mod memory;
 pub mod sync;
 pub mod world;
 
 pub use ddi::{DdiMode, DistributedArray};
+pub use fault::{CommError, FaultPlan, FaultSpec, FtBarrier, LeaseClaim, LeaseMode, TaskLeases};
 pub use memory::{MemoryReport, MemoryTracker, TrackedBuf};
-pub use world::{run_world, Rank, WorldResult};
+pub use world::{run_world, run_world_with_faults, Rank, WorldResult};

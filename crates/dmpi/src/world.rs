@@ -1,26 +1,213 @@
 //! SPMD worlds: spawning ranks, barriers, point-to-point messages and
-//! collectives.
+//! collectives — with optional deterministic fault injection.
+//!
+//! A world can be started with a [`FaultPlan`]
+//! via [`run_world_with_faults`]: ranks then die, straggle, or lose
+//! messages exactly where the plan says, and the failure-aware
+//! primitives ([`Rank::lease_next`], [`Rank::ft_barrier`],
+//! [`Rank::try_gsumf`], [`Rank::recv_timeout`]) let survivors regroup
+//! and finish the computation.
 
 use crate::dlb::Dlb;
+use crate::fault::{
+    splitmix64, CommError, FaultPlan, FaultSpec, FtBarrier, LeaseClaim, LeaseMode, TaskLeases,
+};
 use crate::memory::{MemoryReport, MemoryTracker, TrackedBuf};
 use crate::sync::Mutex;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A tagged point-to-point message.
+/// Default deadline for failure-aware barriers and the lease poll loop:
+/// long enough that it only fires on a genuine hang, short enough that a
+/// wedged test run still terminates with a diagnosis.
+const FT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Back-off between lease polls while another live rank holds the last
+/// outstanding tasks.
+const LEASE_POLL: Duration = Duration::from_micros(50);
+/// How long the legacy blocking [`Rank::recv`] waits before concluding
+/// the message will never arrive.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A tagged point-to-point message. The checksum travels with the
+/// payload so corruption injected (or, at real scale, suffered) in
+/// flight is detected at the receiver.
 struct Message {
     from: usize,
     tag: u64,
     data: Vec<f64>,
+    checksum: u64,
+}
+
+fn payload_checksum(data: &[f64]) -> u64 {
+    let mut state = 0x9E37_79B9_7F4A_7C15 ^ (data.len() as u64);
+    let mut acc = 0u64;
+    for v in data {
+        state ^= v.to_bits();
+        acc ^= splitmix64(&mut state);
+    }
+    acc
+}
+
+struct KillTask {
+    task: usize,
+    fired: bool,
+}
+
+struct ClaimKill {
+    rank: usize,
+    claim: usize,
+    fired: bool,
+}
+
+struct EdgeFault {
+    from: usize,
+    to: usize,
+    nth: usize,
+    fired: bool,
+}
+
+/// Per-world interpreter of a [`FaultPlan`]: tracks which scheduled
+/// faults have fired and the per-rank / per-edge ordinals they key on.
+struct FaultRuntime {
+    seed: u64,
+    kill_tasks: Mutex<Vec<KillTask>>,
+    random_kill_count: usize,
+    random_resolved: AtomicBool,
+    claim_kills: Mutex<Vec<ClaimKill>>,
+    delays: Vec<(usize, usize, u64)>,
+    drops: Mutex<Vec<EdgeFault>>,
+    corrupts: Mutex<Vec<EdgeFault>>,
+    /// Successful lease claims made by each rank (1-based ordinals).
+    claims: Vec<AtomicUsize>,
+    /// Messages sent per (from, to) edge (1-based ordinals).
+    msg_seq: Mutex<HashMap<(usize, usize), usize>>,
+    injected: AtomicUsize,
+}
+
+impl FaultRuntime {
+    fn new(plan: &FaultPlan, n_ranks: usize) -> Self {
+        let mut kill_tasks = Vec::new();
+        let mut claim_kills = Vec::new();
+        let mut delays = Vec::new();
+        let mut drops = Vec::new();
+        let mut corrupts = Vec::new();
+        let mut random_kill_count = 0;
+        for spec in plan.specs() {
+            match *spec {
+                FaultSpec::KillAtTask { task } => kill_tasks.push(KillTask { task, fired: false }),
+                FaultSpec::KillAtClaim { rank, claim } => {
+                    claim_kills.push(ClaimKill { rank, claim, fired: false })
+                }
+                FaultSpec::KillRandom { count } => random_kill_count += count,
+                FaultSpec::Delay { rank, claim, millis } => delays.push((rank, claim, millis)),
+                FaultSpec::DropMessage { from, to, nth } => {
+                    drops.push(EdgeFault { from, to, nth, fired: false })
+                }
+                FaultSpec::CorruptMessage { from, to, nth } => {
+                    corrupts.push(EdgeFault { from, to, nth, fired: false })
+                }
+            }
+        }
+        FaultRuntime {
+            seed: plan.seed,
+            kill_tasks: Mutex::new(kill_tasks),
+            random_kill_count,
+            random_resolved: AtomicBool::new(false),
+            claim_kills: Mutex::new(claim_kills),
+            delays,
+            drops: Mutex::new(drops),
+            corrupts: Mutex::new(corrupts),
+            claims: (0..n_ranks).map(|_| AtomicUsize::new(0)).collect(),
+            msg_seq: Mutex::new(HashMap::new()),
+            injected: AtomicUsize::new(0),
+        }
+    }
+
+    /// Turn `kill*K` specs into concrete fatal task indices once the
+    /// task range is known. Runs once per world (the first lease reset).
+    fn resolve_random_kills(&self, n_tasks: usize) {
+        if self.random_kill_count == 0 || n_tasks == 0 {
+            return;
+        }
+        if self.random_resolved.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut state = self.seed;
+        let mut chosen: Vec<usize> = Vec::new();
+        let want = self.random_kill_count.min(n_tasks);
+        while chosen.len() < want {
+            let t = (splitmix64(&mut state) % n_tasks as u64) as usize;
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        let mut kills = self.kill_tasks.lock();
+        kills.extend(chosen.into_iter().map(|task| KillTask { task, fired: false }));
+    }
+
+    fn delay_for(&self, rank: usize, claim: usize) -> Option<u64> {
+        self.delays.iter().find(|&&(r, c, _)| r == rank && c == claim).map(|&(_, _, ms)| ms)
+    }
+
+    /// Check (and mark fired) any kill scheduled for this claim. Kills
+    /// are suppressed — but still marked fired — when the victim is the
+    /// last live rank, so a plan can never extinguish the whole world.
+    fn check_kill(&self, rank: usize, claim: usize, task: usize, live_count: usize) -> bool {
+        let mut matched = false;
+        {
+            let mut kills = self.kill_tasks.lock();
+            for k in kills.iter_mut() {
+                if !k.fired && k.task == task {
+                    k.fired = true;
+                    matched = true;
+                }
+            }
+        }
+        {
+            let mut kills = self.claim_kills.lock();
+            for k in kills.iter_mut() {
+                if !k.fired && k.rank == rank && k.claim == claim {
+                    k.fired = true;
+                    matched = true;
+                }
+            }
+        }
+        if matched && live_count > 1 {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn next_msg_seq(&self, from: usize, to: usize) -> usize {
+        let mut seq = self.msg_seq.lock();
+        let n = seq.entry((from, to)).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    fn fire_edge(faults: &Mutex<Vec<EdgeFault>>, from: usize, to: usize, nth: usize) -> bool {
+        let mut faults = faults.lock();
+        for f in faults.iter_mut() {
+            if !f.fired && f.from == from && f.to == to && f.nth == nth {
+                f.fired = true;
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// State shared by every rank of a world.
 struct WorldShared {
     n_ranks: usize,
-    barrier: Barrier,
+    barrier: FtBarrier,
     dlb: Dlb,
+    leases: TaskLeases,
     /// Scratch buffer for collectives; valid only between the barriers of
     /// one collective call.
     coll: Mutex<Vec<f64>>,
@@ -29,6 +216,12 @@ struct WorldShared {
     /// contribution to collectives. The communication volume the cluster
     /// model charges for is thereby observable on real runs.
     comm_bytes: Vec<AtomicU64>,
+    /// Liveness flags; a rank marked dead has deregistered from the
+    /// barrier and abandoned its task leases.
+    alive: Vec<AtomicBool>,
+    /// Ranks that died, with reasons, in order of death.
+    failures: Mutex<Vec<(usize, String)>>,
+    faults: Option<FaultRuntime>,
 }
 
 /// Handle a rank's SPMD closure receives. Not `Clone` — exactly one per
@@ -47,18 +240,55 @@ pub struct Rank {
 }
 
 /// Everything a finished world returns: per-rank results plus the memory
-/// accounting.
+/// accounting and the fault/recovery summary.
 pub struct WorldResult<R> {
+    /// One entry per rank, in rank order (dead ranks return whatever
+    /// their closure produced on the error path).
     pub per_rank: Vec<R>,
+    /// Per-rank memory accounting.
     pub memory: MemoryReport,
+    /// Total DLB counter calls (including lease claims).
     pub dlb_calls: usize,
     /// Bytes each rank moved (p2p payloads + collective contributions).
     pub comm_bytes: Vec<u64>,
+    /// Ranks that died mid-run, with reasons, in order of death.
+    pub failures: Vec<(usize, String)>,
+    /// Faults actually injected (kills, delays, drops, corruptions).
+    pub faults_injected: usize,
+    /// Tasks reclaimed from dead ranks and queued for reissue.
+    pub tasks_reclaimed: usize,
+    /// Lease claims served from the reissue queue — recovery work
+    /// re-executed by survivors.
+    pub lease_retries: usize,
+}
+
+impl<R> WorldResult<R> {
+    /// Ids of the ranks that died, in order of death.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.failures.iter().map(|&(r, _)| r).collect()
+    }
 }
 
 /// Run an SPMD function over `n_ranks` ranks (each on its own OS thread)
-/// and collect their results.
+/// and collect their results. Equivalent to
+/// [`run_world_with_faults`]`(n_ranks, None, f)`.
 pub fn run_world<R, F>(n_ranks: usize, f: F) -> WorldResult<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    run_world_with_faults(n_ranks, None, f)
+}
+
+/// Run an SPMD function over `n_ranks` ranks under an optional
+/// deterministic [`FaultPlan`]. If any rank's closure panics, the world
+/// still joins every thread and then reports *which* ranks panicked and
+/// why, instead of a bare double panic.
+pub fn run_world_with_faults<R, F>(
+    n_ranks: usize,
+    faults: Option<FaultPlan>,
+    f: F,
+) -> WorldResult<R>
 where
     R: Send,
     F: Fn(&Rank) -> R + Sync,
@@ -66,11 +296,15 @@ where
     assert!(n_ranks >= 1);
     let shared = Arc::new(WorldShared {
         n_ranks,
-        barrier: Barrier::new(n_ranks),
+        barrier: FtBarrier::new(n_ranks),
         dlb: Dlb::new(),
+        leases: TaskLeases::new(n_ranks),
         coll: Mutex::new(Vec::new()),
         mem: Arc::new(MemoryTracker::new(n_ranks)),
         comm_bytes: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+        alive: (0..n_ranks).map(|_| AtomicBool::new(true)).collect(),
+        failures: Mutex::new(Vec::new()),
+        faults: faults.as_ref().map(|p| FaultRuntime::new(p, n_ranks)),
     });
     let mut senders = Vec::with_capacity(n_ranks);
     let mut receivers = Vec::with_capacity(n_ranks);
@@ -92,26 +326,49 @@ where
         .collect();
 
     let per_rank = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut iter = ranks.into_iter();
-        let rank0 = iter.next().expect("n_ranks >= 1");
-        for rank in iter {
-            let f = &f;
-            handles.push(scope.spawn(move || f(&rank)));
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|rank| {
+                let f = &f;
+                scope.spawn(move || f(&rank))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n_ranks);
+        let mut panics: Vec<(usize, String)> = Vec::new();
+        for (id, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => panics.push((id, panic_message(payload))),
+            }
         }
-        let r0 = f(&rank0);
-        let mut out = vec![r0];
-        for h in handles {
-            out.push(h.join().expect("rank thread panicked"));
+        if !panics.is_empty() {
+            let detail: Vec<String> =
+                panics.iter().map(|(id, msg)| format!("rank {id}: {msg}")).collect();
+            panic!("{} of {n_ranks} ranks panicked — {}", panics.len(), detail.join("; "));
         }
         out
     });
 
+    let failures = shared.failures.lock().clone();
     WorldResult {
         per_rank,
         memory: shared.mem.report(),
         dlb_calls: shared.dlb.calls_made(),
         comm_bytes: shared.comm_bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        failures,
+        faults_injected: shared.faults.as_ref().map_or(0, |fr| fr.injected.load(Ordering::SeqCst)),
+        tasks_reclaimed: shared.leases.reclaimed(),
+        lease_retries: shared.leases.reissued_claims(),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -128,10 +385,66 @@ impl Rank {
         self.id == 0
     }
 
-    /// World barrier.
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
+    // ----------------------------------------------------- liveness -----
+
+    /// Whether this rank is still alive (i.e. not killed by fault
+    /// injection).
+    pub fn alive(&self) -> bool {
+        self.shared.alive[self.id].load(Ordering::SeqCst)
     }
+
+    /// Whether fault injection is active in this world. Builders use
+    /// this to pick recovery-friendly settings (e.g. flush cadence).
+    pub fn faults_enabled(&self) -> bool {
+        self.shared.faults.is_some()
+    }
+
+    /// Number of ranks currently alive.
+    pub fn live_count(&self) -> usize {
+        self.shared.alive.iter().filter(|a| a.load(Ordering::SeqCst)).count()
+    }
+
+    /// True if this rank is the lowest-ranked survivor — the coordinator
+    /// role that falls back from rank 0 when rank 0 dies.
+    pub fn is_lowest_live(&self) -> bool {
+        self.alive() && (0..self.id).all(|r| !self.shared.alive[r].load(Ordering::SeqCst))
+    }
+
+    /// Ranks that have died so far, in order of death.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.shared.failures.lock().iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Mark this rank dead: record the reason, hand its task leases back
+    /// for reissue, and deregister from the world barrier so survivors
+    /// regroup instead of deadlocking.
+    fn mark_dead(&self, reason: String) {
+        if !self.shared.alive[self.id].swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.failures.lock().push((self.id, reason));
+        self.shared.leases.on_death(self.id);
+        self.shared.barrier.deregister();
+    }
+
+    // ------------------------------------------------------ barriers ----
+
+    /// World barrier (legacy API; panics if the barrier fails).
+    pub fn barrier(&self) {
+        self.ft_barrier().unwrap_or_else(|e| panic!("rank {}: barrier failed: {e}", self.id));
+    }
+
+    /// Failure-aware world barrier: only live ranks participate, a dead
+    /// caller errors immediately, and a wedged barrier times out instead
+    /// of hanging forever.
+    pub fn ft_barrier(&self) -> Result<(), CommError> {
+        if !self.alive() {
+            return Err(CommError::SelfDead);
+        }
+        self.shared.barrier.wait(FT_TIMEOUT)
+    }
+
+    // ----------------------------------------------------------- dlb ----
 
     /// Claim the next global task index (`ddi_dlbnext`).
     pub fn dlb_next(&self) -> usize {
@@ -146,6 +459,78 @@ impl Rank {
         }
         self.barrier();
     }
+
+    // -------------------------------------------------- task leases -----
+
+    /// Collective reset of the lease table over `0..n_tasks` (the
+    /// failure-aware `dlb_reset`). Call from every live rank.
+    pub fn lease_reset(&self, n_tasks: usize, mode: LeaseMode) -> Result<(), CommError> {
+        self.ft_barrier()?;
+        if self.is_lowest_live() {
+            self.shared.leases.reset(n_tasks, mode);
+            self.shared.dlb.reset();
+            if let Some(fr) = &self.shared.faults {
+                fr.resolve_random_kills(n_tasks);
+            }
+        }
+        self.ft_barrier()?;
+        Ok(())
+    }
+
+    /// Claim the next task lease (the failure-aware `ddi_dlbnext`).
+    ///
+    /// `Ok(Some(task))` leases a task to this rank — fresh work or a
+    /// reissued task reclaimed from a dead rank. `Ok(None)` means every
+    /// task is complete (not merely handed out): while outstanding tasks
+    /// are leased to other live ranks this call polls, because those
+    /// tasks may yet fail back into the reissue queue. Scheduled faults
+    /// (kills, delays) fire here, after the claim succeeds, so a killed
+    /// rank always dies holding a lease that survivors must reclaim.
+    pub fn lease_next(&self) -> Result<Option<usize>, CommError> {
+        if !self.alive() {
+            return Err(CommError::SelfDead);
+        }
+        let deadline = Instant::now() + FT_TIMEOUT;
+        loop {
+            match self.shared.leases.claim(self.id) {
+                LeaseClaim::Task { task, .. } => {
+                    self.shared.dlb.note_call();
+                    if let Some(fr) = &self.shared.faults {
+                        let claim_no = fr.claims[self.id].fetch_add(1, Ordering::SeqCst) + 1;
+                        if let Some(ms) = fr.delay_for(self.id, claim_no) {
+                            fr.injected.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(ms));
+                        }
+                        if fr.check_kill(self.id, claim_no, task, self.live_count()) {
+                            self.mark_dead(format!(
+                                "fault injection: killed holding task {task} (claim #{claim_no})"
+                            ));
+                            return Err(CommError::SelfDead);
+                        }
+                    }
+                    return Ok(Some(task));
+                }
+                LeaseClaim::Exhausted => {
+                    self.shared.dlb.note_call();
+                    return Ok(None);
+                }
+                LeaseClaim::Pending => {
+                    if Instant::now() >= deadline {
+                        return Err(CommError::Timeout { what: "task lease" });
+                    }
+                    std::thread::sleep(LEASE_POLL);
+                }
+            }
+        }
+    }
+
+    /// Mark a leased task complete. For [`LeaseMode::Volatile`] this
+    /// still only durably counts while this rank stays alive.
+    pub fn lease_complete(&self, task: usize) {
+        self.shared.leases.complete(task);
+    }
+
+    // ------------------------------------------------------- memory -----
 
     /// Allocate a memory-tracked buffer charged to this rank.
     pub fn alloc_f64(&self, len: usize) -> TrackedBuf {
@@ -164,12 +549,42 @@ impl Rank {
 
     // ---------------------------------------------------------- p2p -----
 
-    /// Non-blocking tagged send to `dest`.
+    /// Non-blocking tagged send to `dest` (legacy API; panics on error).
     pub fn send(&self, dest: usize, tag: u64, data: &[f64]) {
-        self.count_bytes(data.len());
+        self.try_send(dest, tag, data).unwrap_or_else(|e| {
+            panic!("rank {}: send(dest={dest}, tag={tag}) failed: {e}", self.id)
+        });
+    }
+
+    /// Non-blocking tagged send to `dest`. Under fault injection the
+    /// scheduled message on this edge may be silently dropped or have
+    /// its payload corrupted in flight.
+    pub fn try_send(&self, dest: usize, tag: u64, data: &[f64]) -> Result<(), CommError> {
+        if !self.alive() {
+            return Err(CommError::SelfDead);
+        }
+        let mut payload = data.to_vec();
+        let mut checksum = payload_checksum(data);
+        if let Some(fr) = &self.shared.faults {
+            let nth = fr.next_msg_seq(self.id, dest);
+            if FaultRuntime::fire_edge(&fr.drops, self.id, dest, nth) {
+                fr.injected.fetch_add(1, Ordering::SeqCst);
+                return Ok(()); // swallowed by the network
+            }
+            if FaultRuntime::fire_edge(&fr.corrupts, self.id, dest, nth) {
+                fr.injected.fetch_add(1, Ordering::SeqCst);
+                // Damage the payload but ship the original checksum, so
+                // the receiver's verification catches it.
+                match payload.first_mut() {
+                    Some(x) => *x = -*x + 1.0,
+                    None => checksum ^= 0xDEAD_BEEF,
+                }
+            }
+        }
+        self.count_bytes(payload.len());
         self.senders[dest]
-            .send(Message { from: self.id, tag, data: data.to_vec() })
-            .expect("world is alive while ranks run");
+            .send(Message { from: self.id, tag, data: payload, checksum })
+            .map_err(|_| CommError::RankFailed { rank: dest })
     }
 
     fn count_bytes(&self, elems: usize) {
@@ -177,19 +592,57 @@ impl Rank {
             .fetch_add((elems * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
     }
 
-    /// Blocking receive matching `(from, tag)`.
+    fn verify(msg: Message) -> Result<Vec<f64>, CommError> {
+        if payload_checksum(&msg.data) != msg.checksum {
+            Err(CommError::CorruptPayload { from: msg.from, tag: msg.tag })
+        } else {
+            Ok(msg.data)
+        }
+    }
+
+    /// Blocking receive matching `(from, tag)` (legacy API; panics if
+    /// the message never arrives or fails verification).
     pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        self.recv_timeout(from, tag, RECV_TIMEOUT).unwrap_or_else(|e| {
+            panic!("rank {}: recv(from={from}, tag={tag}) failed: {e}", self.id)
+        })
+    }
+
+    /// Receive the message matching `(from, tag)`, waiting at most
+    /// `timeout`. Unmatched messages are stashed for later calls, so
+    /// tagged out-of-order delivery works; a message that never arrives
+    /// returns [`CommError::Timeout`] instead of hanging forever, and a
+    /// payload failing its checksum returns
+    /// [`CommError::CorruptPayload`].
+    pub fn recv_timeout(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
         // Check earlier unmatched messages first.
         {
             let mut stash = self.stash.lock();
             if let Some(pos) = stash.iter().position(|m| m.from == from && m.tag == tag) {
-                return stash.remove(pos).expect("position is valid").data;
+                let msg = stash.remove(pos).expect("position is valid");
+                return Self::verify(msg);
             }
         }
+        let deadline = Instant::now() + timeout;
         loop {
-            let msg = self.receiver.lock().recv().expect("senders outlive the world");
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CommError::Timeout { what: "recv" });
+            }
+            let msg = match self.receiver.lock().recv_timeout(remaining) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { what: "recv" }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankFailed { rank: from })
+                }
+            };
             if msg.from == from && msg.tag == tag {
-                return msg.data;
+                return Self::verify(msg);
             }
             self.stash.lock().push_back(msg);
         }
@@ -198,16 +651,27 @@ impl Rank {
     // --------------------------------------------------- collectives ----
 
     /// Global sum over all ranks, in place (`ddi_gsumf`). Collective: every
-    /// rank must call with an equally sized slice.
+    /// rank must call with an equally sized slice. Legacy API; panics if
+    /// the underlying failure-aware reduction errors.
     pub fn gsumf(&self, data: &mut [f64]) {
+        self.try_gsumf(data).unwrap_or_else(|e| panic!("rank {}: gsumf failed: {e}", self.id));
+    }
+
+    /// Failure-aware global sum over the *surviving* ranks, in place.
+    /// The lowest live rank coordinates (rank 0 may be dead), dead ranks
+    /// must not call, and a wedged phase times out instead of hanging.
+    pub fn try_gsumf(&self, data: &mut [f64]) -> Result<(), CommError> {
+        if !self.alive() {
+            return Err(CommError::SelfDead);
+        }
         self.count_bytes(data.len());
-        self.barrier();
-        if self.is_root() {
+        self.ft_barrier()?;
+        if self.is_lowest_live() {
             let mut buf = self.shared.coll.lock();
             buf.clear();
             buf.resize(data.len(), 0.0);
         }
-        self.barrier();
+        self.ft_barrier()?;
         {
             let mut buf = self.shared.coll.lock();
             assert_eq!(buf.len(), data.len(), "gsumf length mismatch across ranks");
@@ -215,12 +679,13 @@ impl Rank {
                 *b += *d;
             }
         }
-        self.barrier();
+        self.ft_barrier()?;
         {
             let buf = self.shared.coll.lock();
             data.copy_from_slice(&buf);
         }
-        self.barrier();
+        self.ft_barrier()?;
+        Ok(())
     }
 
     /// Tree-structured global sum over the point-to-point channels: a
@@ -518,5 +983,224 @@ mod tests {
             v[0]
         });
         assert_eq!(res.per_rank, vec![5.0]);
+    }
+
+    // ------------------------------------------- fault injection --------
+
+    /// Drain the lease loop, returning the tasks this rank completed
+    /// (empty if it was killed — its work is lost with it).
+    fn lease_drain(r: &Rank, n_tasks: usize, mode: LeaseMode) -> Vec<usize> {
+        if r.lease_reset(n_tasks, mode).is_err() {
+            return Vec::new();
+        }
+        let mut mine = Vec::new();
+        loop {
+            match r.lease_next() {
+                Ok(Some(t)) => {
+                    mine.push(t);
+                    r.lease_complete(t);
+                }
+                Ok(None) => return mine,
+                Err(_) => return Vec::new(),
+            }
+        }
+    }
+
+    fn surviving_union<const N: usize>(res: &WorldResult<Vec<usize>>) -> Vec<usize> {
+        let dead = res.failed_ranks();
+        let mut all: Vec<usize> = res
+            .per_rank
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dead.contains(i))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    #[test]
+    fn lease_loop_matches_dlb_call_accounting() {
+        let res = run_world(3, |r| lease_drain(r, 10, LeaseMode::Volatile).len());
+        assert_eq!(res.per_rank.iter().sum::<usize>(), 10);
+        // One call per task plus one Exhausted probe per rank — the same
+        // accounting as the raw dlb_next loop.
+        assert_eq!(res.dlb_calls, 13);
+        assert_eq!(res.tasks_reclaimed, 0);
+        assert!(res.failures.is_empty());
+    }
+
+    #[test]
+    fn killed_rank_tasks_are_reissued_to_survivors() {
+        let plan = FaultPlan::kill_at_tasks(1, &[2]);
+        let res = run_world_with_faults(3, Some(plan), |r| lease_drain(r, 12, LeaseMode::Volatile));
+        assert_eq!(res.failures.len(), 1, "exactly one rank dies");
+        assert!(res.faults_injected >= 1);
+        assert!(res.tasks_reclaimed >= 1, "the victim died holding task 2");
+        assert!(res.lease_retries >= 1);
+        assert_eq!(surviving_union::<3>(&res), (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_kills_leave_one_survivor_covering_everything() {
+        let plan = FaultPlan::kill_at_tasks(7, &[1, 5]);
+        let res = run_world_with_faults(3, Some(plan), |r| lease_drain(r, 10, LeaseMode::Volatile));
+        assert_eq!(res.failures.len(), 2, "two distinct ranks die");
+        assert!(res.tasks_reclaimed >= 2);
+        assert_eq!(surviving_union::<3>(&res), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_random_kills_are_deterministic_and_survivable() {
+        for seed in [11u64, 12, 13] {
+            let res = run_world_with_faults(4, Some(FaultPlan::random_kills(seed, 2)), |r| {
+                lease_drain(r, 20, LeaseMode::Volatile)
+            });
+            assert_eq!(res.failures.len(), 2, "seed {seed}: two ranks die");
+            assert_eq!(surviving_union::<4>(&res), (0..20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn kill_is_suppressed_for_the_last_live_rank() {
+        // Every task is fatal, but the world must never fully die: the
+        // last survivor absorbs the remaining kills and finishes.
+        let plan = FaultPlan::kill_at_tasks(3, &[0, 1, 2, 3, 4, 5]);
+        let res = run_world_with_faults(2, Some(plan), |r| lease_drain(r, 6, LeaseMode::Volatile));
+        assert_eq!(res.failures.len(), 1, "only one of two ranks may die");
+        assert_eq!(surviving_union::<2>(&res), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn straggler_delay_is_injected_without_killing() {
+        let plan = FaultPlan::parse("5:delay@0#1:10").unwrap();
+        let res = run_world_with_faults(2, Some(plan), |r| lease_drain(r, 4, LeaseMode::Volatile));
+        assert_eq!(res.faults_injected, 1);
+        assert!(res.failures.is_empty());
+        assert_eq!(surviving_union::<2>(&res), (0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gsumf_regroups_around_survivors() {
+        let plan = FaultPlan::kill_at_tasks(2, &[0]);
+        let res = run_world_with_faults(3, Some(plan), |r| {
+            if r.lease_reset(6, LeaseMode::Volatile).is_err() {
+                return -1.0;
+            }
+            let mut acc = 0.0;
+            loop {
+                match r.lease_next() {
+                    Ok(Some(t)) => {
+                        acc += t as f64;
+                        r.lease_complete(t);
+                    }
+                    Ok(None) => break,
+                    Err(_) => return -1.0, // dead: skip the collective
+                }
+            }
+            let mut v = vec![acc];
+            r.try_gsumf(&mut v).map(|_| v[0]).unwrap_or(-1.0)
+        });
+        let survivors: Vec<f64> = res.per_rank.iter().copied().filter(|&x| x >= 0.0).collect();
+        assert_eq!(survivors.len(), 2);
+        // All six tasks (0..6 sums to 15) reach the reduction despite the
+        // death — the lost rank's tasks were recomputed by survivors.
+        for v in survivors {
+            assert_eq!(v, 15.0);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_on_never_sent_message() {
+        let res = run_world(2, |r| {
+            if r.rank() == 0 {
+                r.recv_timeout(1, 99, Duration::from_millis(50)).err()
+            } else {
+                None
+            }
+        });
+        assert_eq!(res.per_rank[0], Some(CommError::Timeout { what: "recv" }));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_tagged_out_of_order_messages() {
+        let res = run_world(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 3, &[3.0]);
+                r.send(1, 2, &[2.0]);
+                r.send(1, 1, &[1.0]);
+                vec![]
+            } else {
+                (1..=3u64)
+                    .map(|tag| r.recv_timeout(0, tag, Duration::from_secs(2)).unwrap()[0])
+                    .collect()
+            }
+        });
+        assert_eq!(res.per_rank[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropped_message_times_out_instead_of_hanging() {
+        let plan = FaultPlan::parse("9:drop@0->1#1").unwrap();
+        let res = run_world_with_faults(2, Some(plan), |r| {
+            if r.rank() == 0 {
+                r.try_send(1, 4, &[1.0, 2.0]).unwrap();
+                None
+            } else {
+                r.recv_timeout(0, 4, Duration::from_millis(80)).err()
+            }
+        });
+        assert_eq!(res.per_rank[1], Some(CommError::Timeout { what: "recv" }));
+        assert_eq!(res.faults_injected, 1);
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected_by_checksum() {
+        let plan = FaultPlan::parse("9:corrupt@0->1#1").unwrap();
+        let res = run_world_with_faults(2, Some(plan), |r| {
+            if r.rank() == 0 {
+                r.try_send(1, 4, &[1.0, 2.0]).unwrap();
+                None
+            } else {
+                r.recv_timeout(0, 4, Duration::from_secs(2)).err()
+            }
+        });
+        assert_eq!(res.per_rank[1], Some(CommError::CorruptPayload { from: 0, tag: 4 }));
+        assert_eq!(res.faults_injected, 1);
+    }
+
+    #[test]
+    fn second_message_on_the_edge_passes_after_a_drop() {
+        let plan = FaultPlan::parse("9:drop@0->1#1").unwrap();
+        let res = run_world_with_faults(2, Some(plan), |r| {
+            if r.rank() == 0 {
+                r.try_send(1, 4, &[1.0]).unwrap(); // dropped
+                r.try_send(1, 5, &[2.0]).unwrap(); // delivered
+                vec![]
+            } else {
+                r.recv_timeout(0, 5, Duration::from_secs(2)).unwrap()
+            }
+        });
+        assert_eq!(res.per_rank[1], vec![2.0]);
+    }
+
+    #[test]
+    fn rank_panic_is_reported_with_rank_and_reason() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_world(3, |r| {
+                if r.rank() == 1 {
+                    panic!("integral batch exploded");
+                }
+            })
+        }));
+        let err = match result {
+            Ok(_) => panic!("the world must propagate the rank panic"),
+            Err(payload) => payload,
+        };
+        let msg =
+            err.downcast_ref::<String>().expect("aggregated panic payload is a String").clone();
+        assert!(msg.contains("rank 1"), "panic message names the rank: {msg}");
+        assert!(msg.contains("integral batch exploded"), "panic message keeps the cause: {msg}");
     }
 }

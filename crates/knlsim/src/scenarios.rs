@@ -424,6 +424,72 @@ pub fn crossover(ctx: &Ctx) -> Table {
     t
 }
 
+/// Analysis: recovery cost when ranks die mid-build under the task-lease
+/// protocol (the fault-injection layer of the real builders).
+///
+/// Analytic overlay on the simulated clean build: `k` of `R` ranks die at
+/// fraction `phi` of the build. With *volatile* leases (replicated Fock
+/// accumulators — the MPI-only and both hybrid codes) everything a dead
+/// rank ever computed dies with its accumulators, so survivors redo
+/// `phi * W * k / R` on top of the remaining work. With *durable* leases
+/// (the distributed-data build: flushed contributions persist in the
+/// distributed array) only the in-flight task per dead rank is redone.
+///
+/// ```text
+/// T_volatile / T = phi + (1 - phi + phi k / R) * R / (R - k)
+/// T_durable  / T = phi + (1 - phi)             * R / (R - k)   (+ O(1 task))
+/// ```
+pub fn failure_recovery(ctx: &Ctx, nodes: usize) -> Table {
+    let phi = 0.5; // deaths halfway through the build
+    let mut t = Table::new(
+        format!(
+            "Failure recovery — {k} rank deaths at 50% of the build, {} ({nodes} nodes)",
+            ctx.label,
+            k = "1/2"
+        ),
+        &["algorithm", "leases", "ranks", "clean s", "1 death", "2 deaths"],
+    );
+    let algorithms: [(SimAlgorithm, &str); 4] = [
+        (SimAlgorithm::MpiOnly, "volatile"),
+        (SimAlgorithm::PrivateFock, "volatile"),
+        (SimAlgorithm::SharedFock, "volatile"),
+        // The distributed-data baseline shares SharedFock's simulated
+        // timing shape but completes tasks durably via one-sided flushes.
+        (SimAlgorithm::SharedFock, "durable"),
+    ];
+    for (alg, leases) in algorithms {
+        let cfg = if alg == SimAlgorithm::MpiOnly {
+            SimConfig::mpi_only(nodes)
+        } else {
+            SimConfig::hybrid(alg, nodes)
+        };
+        let r = simulate(&ctx.workload, &ctx.cost, &cfg);
+        let ranks = (r.ranks_per_node * nodes).max(2);
+        let label =
+            if leases == "durable" { "distributed".to_string() } else { alg.label().to_string() };
+        let slowdown = |k: usize| -> f64 {
+            let (rr, kk) = (ranks as f64, k as f64);
+            let lost = if leases == "durable" {
+                // One in-flight task per dead rank, relative to total work.
+                kk / ctx.workload.total_pairs.max(1) as f64
+            } else {
+                phi * kk / rr
+            };
+            phi + (1.0 - phi + lost) * rr / (rr - kk)
+        };
+        t.row(vec![
+            label,
+            leases.to_string(),
+            ranks.to_string(),
+            fmt_secs(r.total_seconds),
+            format!("{:.2}x", slowdown(1)),
+            format!("{:.2}x", slowdown(2)),
+        ]);
+    }
+    t.note("slowdowns are per faulty build; volatile leases redo the dead ranks' work");
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,6 +577,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn failure_recovery_durable_beats_volatile_and_stays_bounded() {
+        let ctx = toy_ctx();
+        let t = failure_recovery(&ctx, 4);
+        assert_eq!(t.rows.len(), 4);
+        let slow =
+            |row: &[String], col: usize| -> f64 { row[col].trim_end_matches('x').parse().unwrap() };
+        for row in &t.rows {
+            let one = slow(row, 4);
+            let two = slow(row, 5);
+            // Losing ranks can only slow a build down, and two deaths cost
+            // at least as much as one.
+            assert!(one >= 1.0 && two >= one, "{row:?}");
+            // Bounded by redoing everything on the survivors.
+            assert!(two < 3.0, "{row:?}");
+        }
+        // At the same rank count, durable leases (distributed row) recover
+        // cheaper than the volatile shared-Fock row.
+        let shf = &t.rows[2];
+        let dist = &t.rows[3];
+        assert_eq!(shf[2], dist[2], "same rank count for the comparison");
+        assert!(slow(dist, 4) < slow(shf, 4), "durable {dist:?} vs volatile {shf:?}");
     }
 
     #[test]

@@ -164,7 +164,13 @@ fn tql2(z: &mut Mat, d: &mut [f64], e: &mut [f64]) {
                 break;
             }
             iter += 1;
-            assert!(iter <= 64, "tql2 failed to converge after 64 iterations");
+            assert!(
+                iter <= 64,
+                "tql2 eigensolver failed to converge after 64 QL sweeps on row {l} of an \
+                 {n}x{n} matrix (residual off-diagonal {:.3e}) — the input likely contains \
+                 NaN/inf or is catastrophically ill-conditioned",
+                e[l].abs()
+            );
 
             // Form the implicit shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -237,7 +243,7 @@ fn sort_pairs(d: &mut [f64], z: &mut Mat) {
 /// Slower than [`eigh`] (O(n^3) per sweep, several sweeps), but extremely
 /// robust and algorithmically unrelated, which makes it valuable in tests.
 pub fn jacobi_eigh(a: &Mat) -> Eigh {
-    assert!(a.is_square());
+    assert!(a.is_square(), "jacobi_eigh requires a square matrix, got {}x{}", a.rows(), a.cols());
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Mat::identity(n);

@@ -214,8 +214,15 @@ impl Mat {
                     }
                 }));
             }
-            for h in handles {
-                h.join().expect("matmul thread panicked");
+            for (t, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    let why = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!("matmul worker thread {t} panicked: {why}");
+                }
             }
         });
         c
@@ -251,7 +258,12 @@ impl Mat {
     }
 
     pub fn trace(&self) -> f64 {
-        assert!(self.is_square());
+        assert!(
+            self.is_square(),
+            "trace requires a square matrix, got {}x{}",
+            self.rows,
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, i)]).sum()
     }
 
@@ -293,7 +305,12 @@ impl Mat {
     /// Force exact symmetry by averaging mirror elements (useful to kill
     /// last-bit asymmetry accumulated during parallel Fock builds).
     pub fn symmetrize(&mut self) {
-        assert!(self.is_square());
+        assert!(
+            self.is_square(),
+            "symmetrize requires a square matrix, got {}x{}",
+            self.rows,
+            self.cols
+        );
         for i in 0..self.rows {
             for j in 0..i {
                 let avg = 0.5 * (self[(i, j)] + self[(j, i)]);

@@ -12,6 +12,7 @@
 use phi_scf::chem::basis::{BasisName, BasisSet};
 use phi_scf::chem::geom::{graphene, small};
 use phi_scf::chem::Molecule;
+use phi_scf::dmpi::FaultPlan;
 use phi_scf::hf::{mp2_energy, run_scf, run_uhf, FockAlgorithm, ScfConfig, UhfConfig};
 
 const HELP: &str = "\
@@ -35,6 +36,15 @@ OPTIONS:
     --uhf <NA>,<NB>      run UHF with NA alpha / NB beta electrons
     --mp2                add the MP2 correlation energy after RHF
     --no-diis            disable DIIS acceleration
+    --faults <SPEC>      deterministic fault injection, replayed on every
+                         Fock build: <seed>:<fault>[,<fault>...] with
+                         kill@<task> | kill@<rank>#<claim> | kill*<count> |
+                         delay@<rank>#<claim>:<ms> |
+                         drop@<from>-><to>#<nth> |
+                         corrupt@<from>-><to>#<nth>
+                         e.g. --faults 42:kill@3,delay@1#2:50
+                         (parallel algorithms only; survivors reclaim the
+                         dead ranks' tasks and finish the build)
     --help               print this text
 ";
 
@@ -123,6 +133,7 @@ fn run() -> Result<(), String> {
     let mut uhf: Option<(usize, usize)> = None;
     let mut mp2 = false;
     let mut diis = true;
+    let mut faults: Option<FaultPlan> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -146,6 +157,7 @@ fn run() -> Result<(), String> {
             }
             "--mp2" => mp2 = true,
             "--no-diis" => diis = false,
+            "--faults" => faults = Some(FaultPlan::parse(&value("faults")?)?),
             "--help" | "-h" => {
                 print!("{HELP}");
                 return Ok(());
@@ -179,6 +191,7 @@ fn run() -> Result<(), String> {
             algorithm: alg,
             screening_tau: tau,
             max_iterations: max_iter,
+            faults: faults.clone(),
             ..Default::default()
         };
         let r = run_uhf(&mol, &b, na, nb, &config);
@@ -198,6 +211,7 @@ fn run() -> Result<(), String> {
                 s.dlb_calls
             );
         }
+        print_fault_summary(&r.fock_stats);
         return Ok(());
     }
 
@@ -206,6 +220,7 @@ fn run() -> Result<(), String> {
         screening_tau: tau,
         max_iterations: max_iter,
         diis,
+        faults: faults.clone(),
         ..Default::default()
     };
     let r = run_scf(&mol, &b, &config);
@@ -216,6 +231,7 @@ fn run() -> Result<(), String> {
         r.iterations,
         r.converged
     );
+    print_fault_summary(&r.fock_stats);
     println!(
         "time to form Fock: {:.3} s over {} builds; peak tracked memory {} bytes",
         r.time_to_form_fock(),
@@ -238,6 +254,21 @@ fn run() -> Result<(), String> {
         println!("MP2: E_corr = {:.8} Eh, total = {:.8} Eh", c.correlation_energy, c.total_energy);
     }
     Ok(())
+}
+
+/// If any build injected faults, summarize the recovery across iterations.
+fn print_fault_summary(stats: &[phi_scf::hf::FockBuildStats]) {
+    let injected: usize = stats.iter().map(|s| s.faults_injected).sum();
+    if injected == 0 {
+        return;
+    }
+    let reclaimed: usize = stats.iter().map(|s| s.tasks_reclaimed).sum();
+    let retries: usize = stats.iter().map(|s| s.retries).sum();
+    let failed = stats.iter().map(|s| s.failed_ranks.len()).max().unwrap_or(0);
+    println!(
+        "fault injection: {injected} faults fired, up to {failed} rank(s) lost per build, \
+         {reclaimed} tasks reclaimed, {retries} recovery claims"
+    );
 }
 
 fn main() {

@@ -1,0 +1,198 @@
+//! Fault-injected recovery suite: kill ranks mid-Fock-build under every
+//! parallel algorithm and check that survivors reclaim the dead ranks'
+//! task leases and still produce the serial Fock matrix; interrupt an SCF
+//! and check the checkpointed restart reproduces the uninterrupted energy
+//! bit-for-bit.
+//!
+//! The kill schedule is seeded and deterministic ([`FaultPlan`]), so every
+//! failure here replays exactly. CI sweeps additional seeds via the
+//! `PHI_FAULT_SEEDS` environment variable (comma-separated integers).
+
+use phi_scf::chem::basis::{BasisName, BasisSet};
+use phi_scf::chem::geom::small;
+use phi_scf::dmpi::FaultPlan;
+use phi_scf::hf::{run_scf, DensitySet, FockAlgorithm, FockData, ScfConfig};
+use phi_scf::linalg::Mat;
+
+/// Seeds to sweep: `PHI_FAULT_SEEDS=1,2,3` overrides the built-in pair.
+fn seeds() -> Vec<u64> {
+    match std::env::var("PHI_FAULT_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim())
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse().unwrap_or_else(|_| {
+                    panic!("PHI_FAULT_SEEDS must be comma-separated integers, got '{t}'")
+                })
+            })
+            .collect(),
+        Err(_) => vec![11, 42],
+    }
+}
+
+/// All four parallel builders at four ranks (so up to two deaths still
+/// leave a quorum of survivors).
+fn algorithms() -> [FockAlgorithm; 4] {
+    [
+        FockAlgorithm::MpiOnly { n_ranks: 4 },
+        FockAlgorithm::PrivateFock { n_ranks: 4, n_threads: 2 },
+        FockAlgorithm::SharedFock { n_ranks: 4, n_threads: 2 },
+        FockAlgorithm::Distributed { n_ranks: 4 },
+    ]
+}
+
+fn density(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        0.2 + ((i * 5 + j * 11) % 7) as f64 * 0.1
+    })
+}
+
+/// Kill `k` of 4 ranks at seeded DLB tasks and require the recovered Fock
+/// to match serial, with the dead ranks' leases visibly reclaimed.
+fn check_recovery_after_kills(k: usize) {
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let data = FockData::build(&b);
+    let ctx = data.context(&b, 1e-12);
+    let d = density(b.n_basis());
+    let want = FockAlgorithm::Serial.builder().build(&ctx, &DensitySet::Restricted(&d));
+
+    for seed in seeds() {
+        for alg in algorithms() {
+            let plan = FaultPlan::random_kills(seed, k);
+            let builder = alg.builder_with_faults(Some(plan));
+            let got = builder.build(&ctx, &DensitySet::Restricted(&d));
+            let diff = got.g.max_abs_diff(&want.g);
+            assert!(
+                diff <= 1e-12,
+                "{} seed {seed}: Fock diff {diff:e} after {k} kills",
+                builder.label()
+            );
+            assert_eq!(
+                got.stats.failed_ranks.len(),
+                k,
+                "{} seed {seed}: expected {k} dead ranks, got {:?}",
+                builder.label(),
+                got.stats.failed_ranks
+            );
+            assert!(
+                got.stats.faults_injected >= k,
+                "{} seed {seed}: {} faults fired",
+                builder.label(),
+                got.stats.faults_injected
+            );
+            assert!(
+                got.stats.tasks_reclaimed > 0,
+                "{} seed {seed}: a rank died holding a lease, so at least \
+                 that task must be reclaimed",
+                builder.label()
+            );
+            assert!(
+                got.stats.retries > 0,
+                "{} seed {seed}: reclaimed tasks must be re-served to survivors",
+                builder.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn killing_one_of_four_ranks_preserves_the_fock_matrix() {
+    check_recovery_after_kills(1);
+}
+
+#[test]
+fn killing_two_of_four_ranks_preserves_the_fock_matrix() {
+    check_recovery_after_kills(2);
+}
+
+#[test]
+fn recovery_covers_both_spin_channels() {
+    // The lease loop sits below the spin-generalized digestion, so an
+    // unrestricted build must recover both channels.
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let data = FockData::build(&b);
+    let ctx = data.context(&b, 1e-12);
+    let n = b.n_basis();
+    let d_a = density(n);
+    let mut d_b = density(n);
+    d_b.scale(0.8);
+    let dens = DensitySet::Unrestricted { alpha: &d_a, beta: &d_b };
+    let want = FockAlgorithm::Serial.builder().build(&ctx, &dens);
+    let want_b = want.g_beta.as_ref().expect("serial beta channel");
+
+    for alg in [FockAlgorithm::MpiOnly { n_ranks: 4 }, FockAlgorithm::Distributed { n_ranks: 4 }] {
+        let plan = FaultPlan::random_kills(7, 1);
+        let got = alg.builder_with_faults(Some(plan)).build(&ctx, &dens);
+        let got_b = got.g_beta.as_ref().expect("recovered beta channel");
+        assert!(got.g.max_abs_diff(&want.g) <= 1e-12, "{} alpha", alg.label());
+        assert!(got_b.max_abs_diff(want_b) <= 1e-12, "{} beta", alg.label());
+        assert_eq!(got.stats.failed_ranks.len(), 1);
+        assert!(got.stats.tasks_reclaimed > 0);
+    }
+}
+
+#[test]
+fn scf_converges_to_the_fault_free_energy_under_repeated_kills() {
+    // The fault plan replays on *every* iteration's build: each one loses
+    // a rank and recovers. The converged energy must match the serial
+    // driver's.
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let clean = run_scf(&mol, &b, &ScfConfig::default());
+    assert!(clean.converged);
+
+    for seed in seeds() {
+        let faulty = run_scf(
+            &mol,
+            &b,
+            &ScfConfig {
+                algorithm: FockAlgorithm::MpiOnly { n_ranks: 4 },
+                faults: Some(FaultPlan::random_kills(seed, 1)),
+                ..Default::default()
+            },
+        );
+        assert!(faulty.converged, "seed {seed}: faulty SCF did not converge");
+        assert!(
+            (faulty.energy - clean.energy).abs() < 1e-10,
+            "seed {seed}: faulty {} vs clean {}",
+            faulty.energy,
+            clean.energy
+        );
+        let reclaimed: usize = faulty.fock_stats.iter().map(|s| s.tasks_reclaimed).sum();
+        assert!(reclaimed > 0, "seed {seed}: every iteration killed a rank");
+    }
+}
+
+#[test]
+fn checkpointed_scf_restart_is_bit_exact() {
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::B631g);
+    let full = run_scf(&mol, &b, &ScfConfig::default());
+    assert!(full.converged);
+
+    let path =
+        std::env::temp_dir().join(format!("phiscf_fault_recovery_{}.ckpt", std::process::id()));
+    let interrupted = run_scf(
+        &mol,
+        &b,
+        &ScfConfig { max_iterations: 3, checkpoint_path: Some(path.clone()), ..Default::default() },
+    );
+    assert!(!interrupted.converged, "3 iterations must not converge 6-31G water");
+
+    let resumed =
+        run_scf(&mol, &b, &ScfConfig { resume_from: Some(path.clone()), ..Default::default() });
+    let _ = std::fs::remove_file(&path);
+    assert!(resumed.converged);
+    assert_eq!(
+        resumed.energy.to_bits(),
+        full.energy.to_bits(),
+        "resumed {} must equal uninterrupted {} bit-for-bit",
+        resumed.energy,
+        full.energy
+    );
+    assert_eq!(resumed.iterations, full.iterations);
+}
