@@ -68,6 +68,7 @@ pub fn build_distributed(
         (0..nch).map(|_| DistributedArray::new(n * n, n_ranks)).collect();
 
     let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+        let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         let mut d_local = rank.alloc_f64(nch * n * n);
         match *dens {
@@ -134,6 +135,7 @@ pub fn build_distributed(
                 // Durable completion: this task's rows land in the array
                 // *before* the lease completes, so death never strands a
                 // completed-but-unflushed task.
+                let _span = phi_trace::span("fock.flush_scatter");
                 for (fock, sink) in focks.iter().zip(&mut sinks) {
                     flushes += flush_rows(fock, rank.rank(), sink);
                 }
@@ -145,6 +147,7 @@ pub fn build_distributed(
                 // the scatter buffer does not hold the whole matrix hot.
                 rank.lease_complete(t);
                 if tasks.is_multiple_of(32) {
+                    let _span = phi_trace::span("fock.flush_scatter");
                     for (fock, sink) in focks.iter().zip(&mut sinks) {
                         flushes += flush_rows(fock, rank.rank(), sink);
                     }
@@ -152,8 +155,11 @@ pub fn build_distributed(
             }
         }
         if !dead {
-            for (fock, sink) in focks.iter().zip(&mut sinks) {
-                flushes += flush_rows(fock, rank.rank(), sink);
+            {
+                let _span = phi_trace::span("fock.flush_scatter");
+                for (fock, sink) in focks.iter().zip(&mut sinks) {
+                    flushes += flush_rows(fock, rank.rank(), sink);
+                }
             }
             // Everyone alive must finish accumulating before anyone reads;
             // dead ranks have deregistered (their unflushed work was
@@ -163,6 +169,11 @@ pub fn build_distributed(
         rank.release_bytes(fock_bytes / rank.size() + fock_bytes);
         rank.release_bytes(ctx.pairs.bytes());
 
+        // Once per rank per build: totals reconcile exactly with the
+        // merged FockBuildStats (no per-quartet events on the hot path).
+        phi_trace::counter("quartets_computed", computed);
+        phi_trace::counter("quartets_screened", screened);
+        phi_trace::counter("flushes", flushes);
         (
             FockBuildStats {
                 seconds: start.elapsed().as_secs_f64(),

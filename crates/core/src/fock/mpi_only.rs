@@ -47,6 +47,7 @@ pub fn build_mpi_only(
     let nch = work.n_channels();
 
     let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+        let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         // Replicated data structures, one full set per rank (the paper's
         // memory bottleneck): every spin-channel density plus the
@@ -116,6 +117,11 @@ pub fn build_mpi_only(
 
         rank.release_bytes(replicated_readonly_bytes(n));
         rank.release_bytes(ctx.pairs.bytes());
+        // Once per rank per build: totals reconcile exactly with the
+        // merged FockBuildStats (no per-quartet events on the hot path).
+        phi_trace::counter("quartets_computed", computed);
+        phi_trace::counter("quartets_screened", screened);
+        phi_trace::counter("flushes", 0);
         let result = if !dead && rank.is_lowest_live() { Some(fock.to_vec()) } else { None };
         (
             result,

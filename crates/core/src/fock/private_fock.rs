@@ -50,6 +50,7 @@ pub fn build_private_fock(
     let nch = work.n_channels();
 
     let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+        let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         // One shared copy of each spin-channel density per rank (threads
         // read them concurrently).
@@ -138,6 +139,11 @@ pub fn build_private_fock(
                 }
             }
 
+            // Per-thread totals, accumulated in plain locals above (no
+            // per-quartet trace events); sums reconcile with the merged
+            // FockBuildStats.
+            phi_trace::counter("quartets_computed", computed);
+            phi_trace::counter("quartets_screened", screened);
             let stats = FockBuildStats {
                 quartets_computed: computed,
                 quartets_screened: screened,
@@ -147,6 +153,7 @@ pub fn build_private_fock(
             };
             (fock, stats)
         });
+        phi_trace::counter("flushes", 0);
 
         // OpenMP reduction(+ : Fock): sum the thread-private copies.
         let mut fock = rank.alloc_f64(nch * n * n);

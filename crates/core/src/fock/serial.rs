@@ -18,6 +18,10 @@ use std::time::Instant;
 /// unrestricted one — every surviving ERI evaluated once and digested into
 /// every spin channel.
 pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
+    // One span + three counters per build — nothing per quartet, so the
+    // serial path carries essentially zero tracing overhead (asserted by
+    // benches/trace_overhead.rs).
+    let _span = phi_trace::span("fock.build");
     let start = Instant::now();
     let basis = ctx.basis;
     let work = dens.prepare();
@@ -52,6 +56,10 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
             }
         }
     }
+
+    phi_trace::counter("quartets_computed", quartets_computed);
+    phi_trace::counter("quartets_screened", quartets_screened);
+    phi_trace::counter("flushes", 0);
 
     let mats = bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect();
     GBuild::from_channels(

@@ -156,6 +156,7 @@ pub fn build_shared_fock_set(
     let nch = work.n_channels();
 
     let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+        let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         let mut d_rank = rank.alloc_f64(nch * n * n);
         match *dens {
@@ -202,6 +203,7 @@ pub fn build_shared_fock_set(
             let mut iold: Option<usize> = None;
 
             let flush_fi = |tctx: &phi_omp::ThreadCtx<'_>, shell: usize| {
+                let _span = phi_trace::span("fock.flush_fi");
                 let sh = &basis.shells[shell];
                 let (lo, width) = (sh.first_bf, sh.n_functions());
                 for (fi, fock) in fis.iter().zip(&focks) {
@@ -304,18 +306,21 @@ pub fn build_shared_fock_set(
                 });
 
                 // Flush FJ after every kl loop (lines 31-32).
-                let width_j = sh_j.n_functions();
-                let j_lo = sh_j.first_bf;
-                for (fj, fock) in fjs.iter().zip(&focks) {
-                    fj.flush_prefix_with(tctx, width_j * n, |row, sum| {
-                        let gj = j_lo + row / n;
-                        let other = row % n;
-                        let idx = if gj >= other { gj * n + other } else { other * n + gj };
-                        fock.add(idx, sum);
-                    });
-                }
-                if tctx.is_master() {
-                    flushes += nch as u64;
+                {
+                    let _span = phi_trace::span("fock.flush_fj");
+                    let width_j = sh_j.n_functions();
+                    let j_lo = sh_j.first_bf;
+                    for (fj, fock) in fjs.iter().zip(&focks) {
+                        fj.flush_prefix_with(tctx, width_j * n, |row, sum| {
+                            let gj = j_lo + row / n;
+                            let other = row % n;
+                            let idx = if gj >= other { gj * n + other } else { other * n + gj };
+                            fock.add(idx, sum);
+                        });
+                    }
+                    if tctx.is_master() {
+                        flushes += nch as u64;
+                    }
                 }
                 iold = Some(i);
             }
@@ -328,6 +333,12 @@ pub fn build_shared_fock_set(
                 }
             }
 
+            // Per-thread counter totals (accumulated in plain locals, no
+            // per-quartet events); flushes is master-counted, so summing
+            // the per-thread contributions reconciles with stats.flushes.
+            phi_trace::counter("quartets_computed", computed);
+            phi_trace::counter("quartets_screened", screened);
+            phi_trace::counter("flushes", flushes);
             FockBuildStats {
                 quartets_computed: computed,
                 quartets_screened: screened,

@@ -234,7 +234,11 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
 
     for it in start_iter..config.max_iterations {
         iterations = it + 1;
-        let gb = builder.build(&ctx, &DensitySet::Restricted(&d));
+        let _iter_span = phi_trace::span("scf.iteration");
+        let gb = {
+            let _span = phi_trace::span("scf.fock");
+            builder.build(&ctx, &DensitySet::Restricted(&d))
+        };
         fock_stats.push(gb.stats);
         let mut f = h.add(&gb.g);
         f.symmetrize();
@@ -248,6 +252,7 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
         }
 
         let mut f_use = if config.diis {
+            let _span = phi_trace::span("scf.diis");
             let err = Diis::error_vector(&f, &d, &s, &x);
             diis.extrapolate(f, err)
         } else {
@@ -263,7 +268,10 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
             f_use.axpy(beta, &shift);
         }
 
-        let (eps, c) = solve_roothaan(&f_use, &x);
+        let (eps, c) = {
+            let _span = phi_trace::span("scf.diag");
+            solve_roothaan(&f_use, &x)
+        };
         let mut d_new = density_from_orbitals(&c, n_occ);
         if let Some(alpha) = config.damping {
             assert!(

@@ -82,10 +82,53 @@ mod tests {
 
     #[test]
     fn merge_takes_max_time_and_sums_counts() {
-        let a = FockBuildStats { seconds: 1.0, quartets_computed: 10, ..Default::default() };
-        let b = FockBuildStats { seconds: 2.0, quartets_computed: 5, ..Default::default() };
+        let a = FockBuildStats {
+            seconds: 1.0,
+            quartets_computed: 10,
+            quartets_screened: 4,
+            flushes: 2,
+            dlb_calls: 7,
+            ..Default::default()
+        };
+        let b = FockBuildStats {
+            seconds: 2.0,
+            quartets_computed: 5,
+            quartets_screened: 6,
+            flushes: 3,
+            dlb_calls: 9,
+            ..Default::default()
+        };
         let m = FockBuildStats::merge(a, &b);
         assert_eq!(m.seconds, 2.0);
         assert_eq!(m.quartets_computed, 15);
+        assert_eq!(m.quartets_screened, 10);
+        assert_eq!(m.flushes, 5);
+        // World-global: set once per build, never merged.
+        assert_eq!(m.dlb_calls, 7);
+    }
+
+    /// The counters the builders emit as trace events are accumulated in
+    /// the same locals as these stats fields, so the two views must agree
+    /// exactly — the deterministic replacement for asserting on wall
+    /// times (see tests/trace_invariants.rs for the parallel builders).
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_counters_reconcile_with_serial_build_stats() {
+        use phi_chem::basis::BasisName;
+        use phi_chem::geom::small;
+        use phi_chem::BasisSet;
+        use phi_integrals::{Screening, ShellPairs};
+        use phi_linalg::Mat;
+
+        let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+        let pairs = ShellPairs::build(&b);
+        let s = Screening::from_pairs(&b, &pairs);
+        let d = Mat::identity(b.n_basis());
+        let session = phi_trace::TraceSession::begin();
+        let out = crate::fock::serial::build_g_serial(&b, &pairs, &s, 1e-10, &d);
+        let report = session.finish();
+        assert_eq!(report.counter_total("quartets_computed"), out.stats.quartets_computed);
+        assert_eq!(report.counter_total("quartets_screened"), out.stats.quartets_screened);
+        assert_eq!(report.counter_total("flushes"), out.stats.flushes);
     }
 }

@@ -136,10 +136,14 @@ pub fn run_uhf(
 
     for it in 0..config.max_iterations {
         iterations = it + 1;
+        let _iter_span = phi_trace::span("scf.iteration");
         // One spin-generalized build per iteration: every surviving ERI is
         // evaluated once and digested into both channels,
         // G_s = J(D_a + D_b) - K(D_s).
-        let gb = builder.build(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b });
+        let gb = {
+            let _span = phi_trace::span("scf.fock");
+            builder.build(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b })
+        };
         let g_b = gb.g_beta.unwrap_or_else(|| {
             panic!(
                 "Fock builder '{}' returned no beta channel for an unrestricted \
@@ -162,8 +166,12 @@ pub fn run_uhf(
             break;
         }
 
-        let (ea, ca) = solve_roothaan(&f_a, &x);
-        let (eb, cb) = solve_roothaan(&f_b, &x);
+        let (ea, ca, eb, cb) = {
+            let _span = phi_trace::span("scf.diag");
+            let (ea, ca) = solve_roothaan(&f_a, &x);
+            let (eb, cb) = solve_roothaan(&f_b, &x);
+            (ea, ca, eb, cb)
+        };
         let d_a_new = spin_density(&ca, n_alpha);
         let d_b_new = if n_beta > 0 { spin_density(&cb, n_beta) } else { Mat::zeros(n, n) };
         eps_a = ea;

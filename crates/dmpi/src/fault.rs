@@ -351,6 +351,10 @@ pub enum LeaseClaim {
         /// True if this claim came from the reissue queue (recovery
         /// work), false for a fresh first-issue claim.
         reissued: bool,
+        /// For reissued work, the dead rank whose loss queued this
+        /// task — recovery traces attribute reclaimed spans to the
+        /// original claimant. `None` for fresh claims.
+        prev_owner: Option<usize>,
     },
     /// Nothing to hand out right now, but outstanding tasks are still
     /// leased to live ranks — poll again.
@@ -367,7 +371,8 @@ struct LeaseState {
     done: Vec<bool>,
     queued: Vec<bool>,
     ever_owned: Vec<Vec<usize>>,
-    reissue: VecDeque<usize>,
+    /// Reissue queue entries: `(task, rank that lost it)`.
+    reissue: VecDeque<(usize, usize)>,
     reclaimed: usize,
     reissued_claims: usize,
 }
@@ -421,19 +426,19 @@ impl TaskLeases {
     /// [`LeaseClaim::Exhausted`].
     pub fn claim(&self, rank: usize) -> LeaseClaim {
         let mut s = self.inner.lock();
-        if let Some(task) = s.reissue.pop_front() {
+        if let Some((task, dead)) = s.reissue.pop_front() {
             s.queued[task] = false;
             s.owner[task] = Some(rank);
             s.ever_owned[rank].push(task);
             s.reissued_claims += 1;
-            return LeaseClaim::Task { task, reissued: true };
+            return LeaseClaim::Task { task, reissued: true, prev_owner: Some(dead) };
         }
         if s.next_fresh < s.n_tasks {
             let task = s.next_fresh;
             s.next_fresh += 1;
             s.owner[task] = Some(rank);
             s.ever_owned[rank].push(task);
-            return LeaseClaim::Task { task, reissued: false };
+            return LeaseClaim::Task { task, reissued: false, prev_owner: None };
         }
         if s.done.iter().all(|&d| d) {
             LeaseClaim::Exhausted
@@ -472,7 +477,7 @@ impl TaskLeases {
                 s.done[task] = false;
                 s.owner[task] = None;
                 s.queued[task] = true;
-                s.reissue.push_back(task);
+                s.reissue.push_back((task, rank));
                 count += 1;
             }
         }
@@ -594,7 +599,7 @@ mod tests {
         let mut got = Vec::new();
         loop {
             match t.claim(0) {
-                LeaseClaim::Task { task, reissued } => {
+                LeaseClaim::Task { task, reissued, .. } => {
                     assert!(!reissued);
                     got.push(task);
                     t.complete(task);
@@ -613,17 +618,18 @@ mod tests {
         let t = TaskLeases::new(2);
         t.reset(4, LeaseMode::Volatile);
         // Rank 0 completes task 0, holds task 1. Rank 1 holds task 2.
-        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false });
+        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false, prev_owner: None });
         t.complete(0);
-        assert_eq!(t.claim(0), LeaseClaim::Task { task: 1, reissued: false });
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 2, reissued: false });
+        assert_eq!(t.claim(0), LeaseClaim::Task { task: 1, reissued: false, prev_owner: None });
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 2, reissued: false, prev_owner: None });
         // Rank 0 dies: both its tasks (0 completed, 1 held) are lost.
         assert_eq!(t.on_death(0), 2);
         assert_eq!(t.reclaimed(), 2);
-        // Survivor drains reissued work first, then the fresh task.
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 0, reissued: true });
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 1, reissued: true });
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 3, reissued: false });
+        // Survivor drains reissued work first (each claim naming the
+        // dead original claimant), then the fresh task.
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 0, reissued: true, prev_owner: Some(0) });
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 1, reissued: true, prev_owner: Some(0) });
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 3, reissued: false, prev_owner: None });
         for task in [0, 1, 2, 3] {
             t.complete(task);
         }
@@ -635,13 +641,13 @@ mod tests {
     fn durable_death_reissues_only_incomplete_tasks() {
         let t = TaskLeases::new(2);
         t.reset(3, LeaseMode::Durable);
-        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false });
+        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false, prev_owner: None });
         t.complete(0); // flushed — survives the death below
-        assert_eq!(t.claim(0), LeaseClaim::Task { task: 1, reissued: false });
+        assert_eq!(t.claim(0), LeaseClaim::Task { task: 1, reissued: false, prev_owner: None });
         assert_eq!(t.on_death(0), 1);
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 1, reissued: true });
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 1, reissued: true, prev_owner: Some(0) });
         t.complete(1);
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 2, reissued: false });
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 2, reissued: false, prev_owner: None });
         t.complete(2);
         assert!(t.all_complete());
         assert_eq!(t.reclaimed(), 1);
@@ -651,7 +657,7 @@ mod tests {
     fn pending_while_a_live_rank_holds_the_last_task() {
         let t = TaskLeases::new(2);
         t.reset(1, LeaseMode::Volatile);
-        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false });
+        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false, prev_owner: None });
         // Rank 1 must poll, not terminate: the task may yet fail back
         // into the reissue queue.
         assert_eq!(t.claim(1), LeaseClaim::Pending);
@@ -663,18 +669,18 @@ mod tests {
     fn double_death_does_not_reissue_twice() {
         let t = TaskLeases::new(3);
         t.reset(2, LeaseMode::Volatile);
-        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false });
+        assert_eq!(t.claim(0), LeaseClaim::Task { task: 0, reissued: false, prev_owner: None });
         assert_eq!(t.on_death(0), 1);
         // Task 0 sits queued; a second death report for the same rank
         // (or a later one for a rank that never re-owned it) is a no-op.
         assert_eq!(t.on_death(0), 0);
-        assert_eq!(t.claim(1), LeaseClaim::Task { task: 0, reissued: true });
+        assert_eq!(t.claim(1), LeaseClaim::Task { task: 0, reissued: true, prev_owner: Some(0) });
         // Rank 1 dies too: task 0 is reissued again (its work died with
-        // rank 1), exactly once.
+        // rank 1, which the new claim now names), exactly once.
         assert_eq!(t.on_death(1), 1);
-        assert_eq!(t.claim(2), LeaseClaim::Task { task: 0, reissued: true });
+        assert_eq!(t.claim(2), LeaseClaim::Task { task: 0, reissued: true, prev_owner: Some(1) });
         t.complete(0);
-        assert_eq!(t.claim(2), LeaseClaim::Task { task: 1, reissued: false });
+        assert_eq!(t.claim(2), LeaseClaim::Task { task: 1, reissued: false, prev_owner: None });
         t.complete(1);
         assert!(t.all_complete());
         assert_eq!(t.reclaimed(), 2);

@@ -157,6 +157,23 @@ impl SimResult {
             footprint_gb: f64::INFINITY,
         }
     }
+
+    /// Export this simulated configuration in the shared observability
+    /// schema ([`phi_trace::TraceSummary`]), so model predictions and
+    /// measured traces can be compared field-for-field. Note the
+    /// normalization: here `fock_seconds`/`reduction_seconds` are per
+    /// SCF iteration, while a measured trace sums every build in the
+    /// session — divide the trace side by its iteration count before
+    /// comparing. `busy_fraction` is the mean/max busy ratio in both
+    /// (the inverse of the paper's Fig. 8 imbalance metric).
+    pub fn trace_summary(&self) -> phi_trace::TraceSummary {
+        phi_trace::TraceSummary {
+            fock_seconds: self.fock_seconds,
+            reduction_seconds: self.reduction_seconds,
+            total_seconds: self.total_seconds,
+            busy_fraction: self.busy_fraction,
+        }
+    }
 }
 
 /// Base OS + program image per process, GB (GAMESS executable, runtime,
@@ -473,6 +490,24 @@ mod tests {
         let t4 = simulate(&w, &cm, &SimConfig::hybrid(SimAlgorithm::SharedFock, 4));
         assert!(t1.feasible && t4.feasible);
         assert!(t4.fock_seconds <= t1.fock_seconds * 1.05);
+    }
+
+    #[test]
+    fn trace_summary_shares_the_observability_schema() {
+        let (w, cm) = toy_workload();
+        let r = simulate(&w, &cm, &SimConfig::hybrid(SimAlgorithm::SharedFock, 2));
+        assert!(r.feasible);
+        let s = r.trace_summary();
+        assert_eq!(s.fock_seconds, r.fock_seconds);
+        assert_eq!(s.reduction_seconds, r.reduction_seconds);
+        assert_eq!(s.total_seconds, r.total_seconds);
+        assert_eq!(s.busy_fraction, r.busy_fraction);
+        // The JSON form is the same one the measured-trace summary emits,
+        // so files from either side are interchangeable downstream.
+        let json = s.to_json();
+        for key in ["fock_seconds", "reduction_seconds", "total_seconds", "busy_fraction"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

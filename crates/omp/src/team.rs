@@ -76,12 +76,16 @@ impl Team {
             single_claims: Mutex::new(Vec::new()),
         };
         let n = self.n_threads;
+        // The caller is the master: workers inherit its rank id so every
+        // thread's trace stream lands under the right (rank, thread) pair.
+        let rank = phi_trace::current_rank();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for t in 1..n {
                 let shared = &shared;
                 let f = &f;
                 handles.push(scope.spawn(move || {
+                    phi_trace::set_ids(rank, t as u32);
                     let ctx =
                         ThreadCtx { thread_num: t, n_threads: n, shared, loop_seq: Cell::new(0) };
                     f(&ctx)
@@ -115,6 +119,7 @@ impl ThreadCtx<'_> {
 
     /// Team barrier (`!$omp barrier`).
     pub fn barrier(&self) {
+        let _span = phi_trace::span("omp.barrier_wait");
         self.shared.barrier.wait();
     }
 
@@ -144,6 +149,9 @@ impl ThreadCtx<'_> {
 
     /// Worksharing loop without the trailing barrier (`nowait`).
     pub fn for_each_nowait(&self, n: usize, sched: Schedule, body: &mut impl FnMut(usize)) {
+        // Per-thread busy time: chunk claiming + loop bodies, but not the
+        // trailing barrier — this is the paper's Fig. 8 numerator.
+        let _span = phi_trace::span("omp.loop");
         match sched {
             Schedule::Static { chunk } => {
                 for (lo, hi) in static_chunks(n, chunk, self.thread_num, self.n_threads) {

@@ -1,0 +1,105 @@
+//! Chrome `trace_event` JSON export (the "JSON Array Format" consumed
+//! by `chrome://tracing` and Perfetto). Hand-rolled like every other
+//! serializer in this workspace — the event vocabulary is four `ph`
+//! codes, not worth a dependency.
+
+use crate::{Event, TraceReport};
+use std::fmt::Write;
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, pid: u32, tid: u32, t_ns: u64) {
+    out.push_str("{\"name\":\"");
+    escape(name, out);
+    // ts is microseconds; keep ns resolution in the fraction.
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}.{:03}",
+        t_ns / 1000,
+        t_ns % 1000
+    );
+}
+
+/// Render a report as a self-contained Chrome trace JSON document.
+pub(crate) fn render(report: &TraceReport) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &report.streams {
+        for ev in &s.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match *ev {
+                Event::Begin { name, t } => {
+                    push_common(&mut out, name, 'B', s.rank, s.thread, t);
+                    out.push('}');
+                }
+                Event::End { name, t } => {
+                    push_common(&mut out, name, 'E', s.rank, s.thread, t);
+                    out.push('}');
+                }
+                Event::Instant { name, t, value, aux } => {
+                    push_common(&mut out, name, 'i', s.rank, s.thread, t);
+                    let _ = write!(
+                        &mut out,
+                        ",\"s\":\"t\",\"args\":{{\"value\":{value},\"aux\":{aux}}}}}"
+                    );
+                }
+                Event::Counter { name, t, value } => {
+                    push_common(&mut out, name, 'C', s.rank, s.thread, t);
+                    out.push_str(",\"args\":{\"");
+                    escape(name, &mut out);
+                    let _ = write!(&mut out, "\":{value}}}}}");
+                }
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stream;
+
+    #[test]
+    fn renders_all_event_kinds() {
+        let report = TraceReport::from_streams(vec![Stream {
+            rank: 1,
+            thread: 2,
+            events: vec![
+                Event::Begin { name: "fock.build", t: 1500 },
+                Event::Instant { name: "rank.died", t: 1600, value: 3, aux: 0 },
+                Event::Counter { name: "quartets_computed", t: 1700, value: 42 },
+                Event::End { name: "fock.build", t: 2750 },
+            ],
+        }]);
+        let json = report.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"ts\":2.750"));
+        assert!(json.contains("\"pid\":1,\"tid\":2"));
+        assert!(json.contains("\"quartets_computed\":42"));
+        // Balanced braces: crude but catches truncation bugs.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

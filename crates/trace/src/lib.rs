@@ -1,0 +1,482 @@
+//! Feature-gated span/counter tracing for the phi-scf stack.
+//!
+//! The paper's headline claims are *timing-breakdown* claims: DLB wait
+//! time, Fock-flush overhead, per-thread load imbalance (Fig. 8's
+//! max/mean thread busy time). Aggregate counters cannot show where a
+//! build spends its time, so this crate adds the missing layer: every
+//! actor — an `(rank, thread)` pair — records a private, lock-free
+//! stream of timestamped events, and a [`TraceSession`] collects the
+//! streams into a [`TraceReport`] with per-stream histograms, imbalance
+//! ratios, DLB wait totals, Chrome `trace_event` JSON export and a
+//! machine-readable [`TraceSummary`] that shares its schema with the
+//! `knlsim` performance model.
+//!
+//! # Cost model
+//!
+//! * **Feature off (default):** every entry point below is an empty
+//!   `#[inline(always)]` function — call sites compile to nothing, and
+//!   none of the TLS/sink machinery exists in the binary.
+//! * **Feature on, no active session:** one relaxed atomic load per
+//!   call.
+//! * **Feature on, active session:** a `Vec` push into a thread-local
+//!   buffer plus one monotonic-clock read. No locks are taken on the
+//!   hot path; buffers drain into the global sink only when a thread
+//!   exits (scoped rank/team threads) or its ids change.
+//!
+//! Instrumented code emits *O(tasks × threads)* events, never
+//! per-quartet events; counters accumulate in plain locals and are
+//! recorded once per thread per build. The overhead budget (≤ 2 % on
+//! the engine-serial Fock build) is asserted by
+//! `benches/trace_overhead.rs`.
+//!
+//! # Span taxonomy
+//!
+//! | name | emitted by |
+//! |------|------------|
+//! | `omp.loop` | worksharing loop body (per-thread busy time) |
+//! | `omp.barrier_wait` | team barrier wait |
+//! | `dlb.wait` | `Rank::lease_next` (claim + poll until a task arrives) |
+//! | `mpi.gsum` | fault-tolerant global sum |
+//! | `mpi.barrier` | fault-tolerant world barrier |
+//! | `fock.build` | one builder invocation (per rank) |
+//! | `fock.flush_fi` / `fock.flush_fj` / `fock.flush_scatter` | shared-Fock / distributed flushes |
+//! | `scf.iteration` / `scf.fock` / `scf.diag` / `scf.diis` | SCF/UHF driver phases |
+//!
+//! Instants: `rank.died` (value = rank id), `task.reissued`
+//! (value = task, aux = original claimant). Counters: `quartets_computed`,
+//! `flushes`, `dlb.calls`, `tasks.reclaimed` — each reconciles exactly
+//! with the corresponding `FockBuildStats` field (see
+//! `tests/trace_invariants.rs`).
+
+mod chrome;
+mod report;
+
+pub use report::{Histogram, InstantEvent, TraceReport, TraceSummary};
+
+/// One timestamped trace event. Timestamps are nanoseconds since the
+/// process-wide trace epoch (the first clock read in the process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Span open; closed by the matching `End` with the same name.
+    Begin { name: &'static str, t: u64 },
+    /// Span close. Spans on one stream close LIFO (RAII guards), so
+    /// streams are always properly nested.
+    End { name: &'static str, t: u64 },
+    /// A point event: `value`/`aux` carry event-specific payload
+    /// (e.g. the dead rank id, or a reissued task and its original
+    /// claimant).
+    Instant { name: &'static str, t: u64, value: u64, aux: u64 },
+    /// A monotone counter contribution; the report sums all
+    /// contributions with the same name.
+    Counter { name: &'static str, t: u64, value: u64 },
+}
+
+impl Event {
+    /// Timestamp of the event, ns since the trace epoch.
+    pub fn t(&self) -> u64 {
+        match *self {
+            Event::Begin { t, .. }
+            | Event::End { t, .. }
+            | Event::Instant { t, .. }
+            | Event::Counter { t, .. } => t,
+        }
+    }
+
+    /// Name of the event.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            Event::Begin { name, .. }
+            | Event::End { name, .. }
+            | Event::Instant { name, .. }
+            | Event::Counter { name, .. } => name,
+        }
+    }
+}
+
+/// The events recorded by one `(rank, thread)` actor, in program order.
+#[derive(Clone, Debug, Default)]
+pub struct Stream {
+    pub rank: u32,
+    pub thread: u32,
+    pub events: Vec<Event>,
+}
+
+/// True when the crate was compiled with the `trace` feature.
+pub const fn enabled() -> bool {
+    cfg!(feature = "trace")
+}
+
+// ---------------------------------------------------------------------
+// Recording runtime (feature on)
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "trace")]
+mod rt {
+    use super::{Event, Stream};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    pub(crate) static ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(crate) static SINK: Mutex<Vec<Stream>> = Mutex::new(Vec::new());
+    pub(crate) static SESSION: Mutex<()> = Mutex::new(());
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    #[inline]
+    pub(crate) fn active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn now_ns() -> u64 {
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        // A poisoning panic in one tracing test must not wedge the rest
+        // of the binary: the sink holds plain data, safe to keep using.
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Per-OS-thread event buffer. Flushes itself into the global sink
+    /// when the thread exits (TLS destructor) — scoped rank/team
+    /// threads always terminate before their world/team call returns,
+    /// so by the time a build returns, every stream it produced is in
+    /// the sink. The long-lived session thread is flushed by
+    /// `TraceSession::finish`.
+    pub(crate) struct Local {
+        rank: u32,
+        thread: u32,
+        pub(crate) events: Vec<Event>,
+    }
+
+    impl Local {
+        pub(crate) fn flush(&mut self) {
+            if self.events.is_empty() {
+                return;
+            }
+            let stream = Stream {
+                rank: self.rank,
+                thread: self.thread,
+                events: std::mem::take(&mut self.events),
+            };
+            lock(&SINK).push(stream);
+        }
+    }
+
+    impl Drop for Local {
+        fn drop(&mut self) {
+            self.flush();
+        }
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Local> = const {
+            RefCell::new(Local { rank: 0, thread: 0, events: Vec::new() })
+        };
+    }
+
+    #[inline]
+    pub(crate) fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> R {
+        LOCAL.with(|l| f(&mut l.borrow_mut()))
+    }
+
+    #[inline]
+    pub(crate) fn push(ev: Event) {
+        with_local(|l| l.events.push(ev));
+    }
+
+    pub(crate) fn set_ids(rank: u32, thread: u32) {
+        with_local(|l| {
+            if (l.rank, l.thread) != (rank, thread) {
+                // One OS thread can play several roles over time (the
+                // session thread is also rank 0's master in serial
+                // tests): close out the old stream segment first.
+                l.flush();
+                l.rank = rank;
+                l.thread = thread;
+            }
+        });
+    }
+
+    pub(crate) fn current_rank() -> u32 {
+        with_local(|l| l.rank)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recording API — feature on
+// ---------------------------------------------------------------------
+
+/// RAII span guard: records `Event::End` when dropped. Guards drop in
+/// LIFO order, which is what guarantees streams nest properly.
+#[must_use = "a span measures the scope of this guard; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    #[cfg(feature = "trace")]
+    name: Option<&'static str>,
+}
+
+#[cfg(feature = "trace")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            rt::push(Event::End { name, t: rt::now_ns() });
+        }
+    }
+}
+
+/// Open a span on the current thread's stream; it closes when the
+/// returned guard drops.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if rt::active() {
+        rt::push(Event::Begin { name, t: rt::now_ns() });
+        SpanGuard { name: Some(name) }
+    } else {
+        SpanGuard { name: None }
+    }
+}
+
+/// Record a point event with one payload value.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn instant(name: &'static str, value: u64) {
+    instant_with(name, value, 0);
+}
+
+/// Record a point event with two payload values.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn instant_with(name: &'static str, value: u64, aux: u64) {
+    if rt::active() {
+        rt::push(Event::Instant { name, t: rt::now_ns(), value, aux });
+    }
+}
+
+/// Add `value` to the counter `name`. Contributions from all streams
+/// are summed by the report.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn counter(name: &'static str, value: u64) {
+    if rt::active() {
+        rt::push(Event::Counter { name, t: rt::now_ns(), value });
+    }
+}
+
+/// Tag the current OS thread as `(rank, thread)` for subsequent events.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn set_ids(rank: u32, thread: u32) {
+    rt::set_ids(rank, thread);
+}
+
+/// Rank id last set on this thread (0 if never set).
+#[cfg(feature = "trace")]
+#[inline]
+pub fn current_rank() -> u32 {
+    rt::current_rank()
+}
+
+// ---------------------------------------------------------------------
+// Recording API — feature off: every call compiles to nothing
+// ---------------------------------------------------------------------
+
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard {}
+}
+
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn instant(_name: &'static str, _value: u64) {}
+
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn instant_with(_name: &'static str, _value: u64, _aux: u64) {}
+
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn counter(_name: &'static str, _value: u64) {}
+
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn set_ids(_rank: u32, _thread: u32) {}
+
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn current_rank() -> u32 {
+    0
+}
+
+/// Tag the current OS thread as the master (thread 0) of `rank`.
+#[inline(always)]
+pub fn set_rank(rank: u32) {
+    set_ids(rank, 0);
+}
+
+/// Macro forms of the recording API; with the `trace` feature off they
+/// expand to the same empty inline functions and compile to nothing.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[macro_export]
+macro_rules! trace_counter {
+    ($name:expr, $value:expr) => {
+        $crate::counter($name, $value)
+    };
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// An exclusive recording window. `begin` clears the global sink and
+/// arms recording; `finish` disarms it and returns everything recorded
+/// in between as a [`TraceReport`].
+///
+/// Sessions hold a global lock, so two sessions in one process
+/// serialize — concurrent `#[test]`s that trace do not corrupt each
+/// other's reports. With the `trace` feature off a session is free and
+/// `finish` returns an empty report.
+pub struct TraceSession {
+    #[cfg(feature = "trace")]
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+#[cfg(feature = "trace")]
+impl TraceSession {
+    pub fn begin() -> TraceSession {
+        let guard = rt::lock(&rt::SESSION);
+        // Drop anything the session thread buffered outside a session
+        // (nothing should be there — recording is gated — but a
+        // previous panicking session may have left partial state).
+        rt::with_local(|l| l.events.clear());
+        rt::lock(&rt::SINK).clear();
+        rt::ACTIVE.store(true, std::sync::atomic::Ordering::SeqCst);
+        TraceSession { _guard: guard }
+    }
+
+    pub fn finish(self) -> TraceReport {
+        rt::ACTIVE.store(false, std::sync::atomic::Ordering::SeqCst);
+        rt::with_local(|l| l.flush());
+        let streams = std::mem::take(&mut *rt::lock(&rt::SINK));
+        TraceReport::from_streams(streams)
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+impl TraceSession {
+    pub fn begin() -> TraceSession {
+        TraceSession {}
+    }
+
+    pub fn finish(self) -> TraceReport {
+        TraceReport::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_off_session_is_empty() {
+        // Runs in both configurations; with the feature off it checks
+        // the no-op path, with it on it checks an event-free session.
+        let session = TraceSession::begin();
+        let report = session.finish();
+        assert!(report.streams.is_empty());
+        assert_eq!(report.counter_total("anything"), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn spans_nest_and_counters_sum() {
+        let session = TraceSession::begin();
+        set_ids(0, 0);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                counter("work", 3);
+            }
+            counter("work", 4);
+        }
+        instant_with("mark", 7, 9);
+        let report = session.finish();
+        report.check_well_formed().unwrap();
+        assert_eq!(report.counter_total("work"), 7);
+        assert_eq!(report.span_count("outer"), 1);
+        assert_eq!(report.span_count("inner"), 1);
+        assert!(report.span_total_ns("outer") >= report.span_total_ns("inner"));
+        let marks = report.instants("mark");
+        assert_eq!(marks.len(), 1);
+        assert_eq!((marks[0].value, marks[0].aux), (7, 9));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn inactive_gap_records_nothing() {
+        {
+            let _orphan = span("orphan"); // no session: must not record
+            counter("orphan", 1);
+        }
+        let session = TraceSession::begin();
+        set_ids(0, 0);
+        counter("live", 1);
+        let report = session.finish();
+        assert_eq!(report.counter_total("orphan"), 0);
+        assert_eq!(report.counter_total("live"), 1);
+        report.check_well_formed().unwrap();
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn threads_get_separate_streams() {
+        let session = TraceSession::begin();
+        set_ids(0, 0);
+        let _root = span("root");
+        std::thread::scope(|s| {
+            for t in 1..4u32 {
+                s.spawn(move || {
+                    set_ids(0, t);
+                    let _s = span("leaf");
+                    counter("per_thread", 1);
+                });
+            }
+        });
+        drop(_root);
+        let report = session.finish();
+        report.check_well_formed().unwrap();
+        assert_eq!(report.counter_total("per_thread"), 3);
+        assert_eq!(report.span_count("leaf"), 3);
+        // Three worker streams plus the session thread's own.
+        assert_eq!(report.streams.len(), 4);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn set_ids_splits_segments_and_report_remerges() {
+        let session = TraceSession::begin();
+        set_ids(2, 0);
+        counter("a", 1);
+        set_ids(3, 0); // flushes the (2, 0) segment
+        counter("a", 2);
+        set_ids(2, 0); // back: a second (2, 0) segment
+        counter("a", 4);
+        let report = session.finish();
+        assert_eq!(report.counter_total("a"), 7);
+        // Per-(rank, thread) merge: exactly two streams remain.
+        assert_eq!(report.streams.len(), 2);
+        let r2: Vec<_> = report.streams.iter().filter(|s| s.rank == 2).collect();
+        assert_eq!(r2.len(), 1);
+        assert_eq!(r2[0].events.len(), 2);
+    }
+}

@@ -13,3 +13,4 @@ pub use phi_integrals as integrals;
 pub use phi_knlsim as knlsim;
 pub use phi_linalg as linalg;
 pub use phi_omp as omp;
+pub use phi_trace as trace;

@@ -45,6 +45,13 @@ OPTIONS:
                          e.g. --faults 42:kill@3,delay@1#2:50
                          (parallel algorithms only; survivors reclaim the
                          dead ranks' tasks and finish the build)
+    --trace <FILE>       record a span trace of the whole run and write it
+                         as Chrome trace_event JSON (open in
+                         chrome://tracing or https://ui.perfetto.dev);
+                         also prints the phase breakdown and per-rank
+                         thread imbalance. Needs a binary built with
+                         `--features trace` — without it the run works
+                         but the trace is empty and a warning is printed
     --help               print this text
 ";
 
@@ -134,6 +141,7 @@ fn run() -> Result<(), String> {
     let mut mp2 = false;
     let mut diis = true;
     let mut faults: Option<FaultPlan> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -158,6 +166,7 @@ fn run() -> Result<(), String> {
             "--mp2" => mp2 = true,
             "--no-diis" => diis = false,
             "--faults" => faults = Some(FaultPlan::parse(&value("faults")?)?),
+            "--trace" => trace_path = Some(value("trace")?),
             "--help" | "-h" => {
                 print!("{HELP}");
                 return Ok(());
@@ -186,6 +195,15 @@ fn run() -> Result<(), String> {
     );
 
     let alg = parse_algorithm(&algorithm)?;
+    let trace_session = trace_path.as_deref().map(|_| {
+        if !phi_scf::trace::enabled() {
+            eprintln!(
+                "warning: this binary was built without `--features trace`; \
+                 the trace file will be empty"
+            );
+        }
+        phi_scf::trace::TraceSession::begin()
+    });
     if let Some((na, nb)) = uhf {
         let config = UhfConfig {
             algorithm: alg,
@@ -212,6 +230,9 @@ fn run() -> Result<(), String> {
             );
         }
         print_fault_summary(&r.fock_stats);
+        if let (Some(session), Some(path)) = (trace_session, trace_path.as_deref()) {
+            write_trace(session, path)?;
+        }
         return Ok(());
     }
 
@@ -224,6 +245,9 @@ fn run() -> Result<(), String> {
         ..Default::default()
     };
     let r = run_scf(&mol, &b, &config);
+    if let (Some(session), Some(path)) = (trace_session, trace_path.as_deref()) {
+        write_trace(session, path)?;
+    }
     println!(
         "RHF [{}]: E = {:.8} Eh  ({} iterations, converged: {})",
         alg.label(),
@@ -252,6 +276,31 @@ fn run() -> Result<(), String> {
         }
         let c = mp2_energy(&b, &r.orbitals, &r.orbital_energies, mol.n_occupied(), r.energy);
         println!("MP2: E_corr = {:.8} Eh, total = {:.8} Eh", c.correlation_energy, c.total_energy);
+    }
+    Ok(())
+}
+
+/// Finish the trace session, write the Chrome trace_event JSON, and print
+/// the phase breakdown plus per-rank thread imbalance (paper Fig. 8).
+fn write_trace(session: phi_scf::trace::TraceSession, path: &str) -> Result<(), String> {
+    let report = session.finish();
+    std::fs::write(path, report.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+    if report.is_empty() {
+        println!("trace: wrote {path} (empty)");
+        return Ok(());
+    }
+    let s = report.summary();
+    println!(
+        "trace: wrote {path}; fock {:.3} s, gsum {:.3} s, total {:.3} s, \
+         busy fraction {:.2}, DLB wait {:.3} s",
+        s.fock_seconds,
+        s.reduction_seconds,
+        s.total_seconds,
+        s.busy_fraction,
+        report.dlb_wait_total_ns() as f64 * 1e-9
+    );
+    for (rank, ratio) in report.imbalance_ratios() {
+        println!("trace: rank {rank} thread imbalance (max/mean busy) {ratio:.2}");
     }
     Ok(())
 }

@@ -1,0 +1,190 @@
+//! Structural invariants of the `phi-trace` instrumentation, checked
+//! against every parallel Fock builder at two world sizes:
+//!
+//! - every stream is well-formed (monotone timestamps, LIFO span nesting,
+//!   no unclosed spans) after the per-thread segments are re-merged;
+//! - child spans fit inside their parent (sum of children <= parent);
+//! - counter totals reconcile *exactly* with the [`FockBuildStats`]
+//!   fields the builders report (`quartets_computed`, `quartets_screened`,
+//!   `flushes`, `dlb_calls`, `tasks_reclaimed`) — the counters are
+//!   accumulated in the same plain locals, so any drift is a bug.
+//!
+//! Every test wraps its builds in a [`TraceSession`]; sessions serialize
+//! on a process-wide lock, so concurrently running tests in this binary
+//! cannot leak events into each other's reports.
+#![cfg(feature = "trace")]
+
+use phi_scf::chem::basis::{BasisName, BasisSet};
+use phi_scf::chem::geom::small;
+use phi_scf::hf::{DensitySet, FockAlgorithm, FockBuildStats, FockData};
+use phi_scf::linalg::Mat;
+use phi_scf::trace::{Event, Stream, TraceReport, TraceSession};
+
+/// All four parallel builders at two world sizes each.
+fn algorithms() -> Vec<FockAlgorithm> {
+    vec![
+        FockAlgorithm::MpiOnly { n_ranks: 2 },
+        FockAlgorithm::MpiOnly { n_ranks: 4 },
+        FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 3 },
+        FockAlgorithm::PrivateFock { n_ranks: 2, n_threads: 2 },
+        FockAlgorithm::SharedFock { n_ranks: 1, n_threads: 4 },
+        FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
+        FockAlgorithm::Distributed { n_ranks: 2 },
+        FockAlgorithm::Distributed { n_ranks: 4 },
+    ]
+}
+
+fn density(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        0.2 + ((i * 5 + j * 11) % 7) as f64 * 0.1
+    })
+}
+
+/// One traced build of water/STO-3G under `alg`.
+fn traced_build(alg: FockAlgorithm) -> (TraceReport, FockBuildStats) {
+    let b = BasisSet::build(&small::water(), BasisName::Sto3g);
+    let data = FockData::build(&b);
+    let ctx = data.context(&b, 1e-12);
+    let d = density(b.n_basis());
+    let session = TraceSession::begin();
+    let gb = alg.builder().build(&ctx, &DensitySet::Restricted(&d));
+    (session.finish(), gb.stats)
+}
+
+#[test]
+fn every_builder_trace_is_well_formed() {
+    let mut algs = algorithms();
+    algs.push(FockAlgorithm::Serial);
+    for alg in algs {
+        let (report, _) = traced_build(alg);
+        assert!(!report.is_empty(), "{}: empty trace", alg.label());
+        report
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("{}: malformed trace: {e}", alg.label()));
+    }
+}
+
+#[test]
+fn merged_streams_have_monotone_timelines_and_unique_identities() {
+    for alg in algorithms() {
+        let (report, _) = traced_build(alg);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &report.streams {
+            assert!(
+                seen.insert((s.rank, s.thread)),
+                "{}: duplicate stream ({}, {}) after merge",
+                alg.label(),
+                s.rank,
+                s.thread
+            );
+            // Segments recorded by different OS threads playing the same
+            // (rank, thread) role must concatenate into one monotone
+            // timeline.
+            let mut prev = 0u64;
+            for ev in &s.events {
+                assert!(
+                    ev.t() >= prev,
+                    "{}: stream ({}, {}) goes back in time",
+                    alg.label(),
+                    s.rank,
+                    s.thread
+                );
+                prev = ev.t();
+            }
+        }
+    }
+}
+
+/// Walk one stream keeping (start, accumulated child time) per open span;
+/// on close, the children must fit inside the parent. Returns the number
+/// of nested (depth >= 1) spans seen.
+fn check_children_fit(label: &str, s: &Stream) -> usize {
+    let mut stack: Vec<(u64, u64)> = Vec::new();
+    let mut nested = 0usize;
+    for ev in &s.events {
+        match *ev {
+            Event::Begin { t, .. } => stack.push((t, 0)),
+            Event::End { name, t } => {
+                let (t0, child) = stack.pop().unwrap_or_else(|| {
+                    panic!("{label}: stream ({}, {}) closes unopened span", s.rank, s.thread)
+                });
+                let dur = t - t0;
+                assert!(
+                    child <= dur,
+                    "{label}: children of '{name}' on ({}, {}) total {child} ns \
+                     but the parent lasted only {dur} ns",
+                    s.rank,
+                    s.thread
+                );
+                if let Some(parent) = stack.last_mut() {
+                    nested += 1;
+                    parent.1 += dur;
+                }
+            }
+            _ => {}
+        }
+    }
+    nested
+}
+
+#[test]
+fn child_spans_fit_inside_their_parents() {
+    for alg in algorithms() {
+        let (report, _) = traced_build(alg);
+        let nested: usize = report.streams.iter().map(|s| check_children_fit(alg.label(), s)).sum();
+        // Every parallel builder nests at least dlb.wait / mpi.gsum
+        // inside its per-rank fock.build span.
+        assert!(nested > 0, "{}: no nested spans at all", alg.label());
+    }
+}
+
+#[test]
+fn fock_build_spans_appear_once_per_rank() {
+    for (alg, ranks) in [
+        (FockAlgorithm::MpiOnly { n_ranks: 3 }, 3),
+        (FockAlgorithm::PrivateFock { n_ranks: 2, n_threads: 2 }, 2),
+        (FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 }, 2),
+        (FockAlgorithm::Distributed { n_ranks: 3 }, 3),
+    ] {
+        let (report, _) = traced_build(alg);
+        assert_eq!(
+            report.span_count("fock.build"),
+            ranks,
+            "{}: one fock.build span per rank",
+            alg.label()
+        );
+        assert_eq!(report.span_total_by_rank("fock.build").len(), ranks);
+    }
+}
+
+#[test]
+fn counter_totals_reconcile_exactly_with_build_stats() {
+    let mut algs = algorithms();
+    algs.push(FockAlgorithm::Serial);
+    for alg in algs {
+        let (report, stats) = traced_build(alg);
+        let label = alg.label();
+        assert_eq!(
+            report.counter_total("quartets_computed"),
+            stats.quartets_computed,
+            "{label}: quartets_computed drifted"
+        );
+        assert_eq!(
+            report.counter_total("quartets_screened"),
+            stats.quartets_screened,
+            "{label}: quartets_screened drifted"
+        );
+        assert_eq!(report.counter_total("flushes"), stats.flushes, "{label}: flushes drifted");
+        assert_eq!(
+            report.counter_total("dlb.calls") as usize,
+            stats.dlb_calls,
+            "{label}: dlb.calls drifted"
+        );
+        assert_eq!(
+            report.counter_total("tasks.reclaimed") as usize,
+            stats.tasks_reclaimed,
+            "{label}: tasks.reclaimed drifted (fault-free build)"
+        );
+    }
+}

@@ -5,6 +5,7 @@
 use phi_scf::chem::basis::{BasisName, BasisSet};
 use phi_scf::chem::geom::small;
 use phi_scf::hf::fock::serial::build_g_serial;
+use phi_scf::hf::{DensitySet, FockAlgorithm, FockData};
 use phi_scf::integrals::screening::WorkloadStats;
 use phi_scf::integrals::{Screening, ShellPairs};
 use phi_scf::linalg::Mat;
@@ -65,6 +66,55 @@ fn prescreened_tasks_do_no_work_in_the_real_builder() {
         (3.0..5.0).contains(&ratio),
         "expected quadratic growth, got dimer/monomer quartet ratio {ratio}"
     );
+}
+
+#[test]
+fn builder_counters_are_deterministic_across_algorithms() {
+    // The counters the builders report (and, with the `trace` feature,
+    // emit as trace counter events) are exact work accounting, not
+    // timings: every parallel decomposition of the same workload must
+    // land on the same totals as the serial enumeration, run after run.
+    let basis = BasisSet::build(&small::water(), BasisName::Sto3g);
+    let data = FockData::build(&basis);
+    let tau = 1e-12;
+    let ctx = data.context(&basis, tau);
+    let n = basis.n_basis();
+    let d = Mat::from_fn(n, n, |i, j| {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        0.2 + ((i * 5 + j * 11) % 7) as f64 * 0.1
+    });
+    let dens = DensitySet::Restricted(&d);
+    let serial = FockAlgorithm::Serial.builder().build(&ctx, &dens);
+    let total = serial.stats.quartets_computed + serial.stats.quartets_screened;
+
+    let ns = basis.n_shells();
+    let n_pair = ns * (ns + 1) / 2;
+    for (alg, ranks) in [
+        (FockAlgorithm::MpiOnly { n_ranks: 3 }, 3),
+        (FockAlgorithm::PrivateFock { n_ranks: 2, n_threads: 2 }, 2),
+        (FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 }, 2),
+        (FockAlgorithm::Distributed { n_ranks: 3 }, 3),
+    ] {
+        let got = alg.builder().build(&ctx, &dens);
+        let label = alg.label();
+        assert_eq!(
+            got.stats.quartets_computed, serial.stats.quartets_computed,
+            "{label}: every surviving quartet exactly once"
+        );
+        assert_eq!(
+            got.stats.quartets_computed + got.stats.quartets_screened,
+            total,
+            "{label}: full canonical coverage"
+        );
+        // DLB accounting: tasks pulled plus one final out-of-range claim
+        // per rank — exact, not approximate.
+        let tasks = match alg {
+            FockAlgorithm::PrivateFock { .. } => ns,
+            _ => n_pair,
+        };
+        assert_eq!(got.stats.dlb_tasks, tasks, "{label}: one lease per task");
+        assert_eq!(got.stats.dlb_calls, tasks + ranks, "{label}: claims + final polls");
+    }
 }
 
 #[test]
