@@ -119,7 +119,7 @@ pub fn build_distributed(
             let (i, j) = pair_decode(t);
             for k in 0..=i {
                 for l in 0..=kl_bounds(i, j, k) {
-                    if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                    if !ctx.survives(i, j, k, l) {
                         screened += 1;
                         continue;
                     }

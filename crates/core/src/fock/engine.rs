@@ -26,12 +26,12 @@ use super::shared_fock::TaskPrescreen;
 use super::{DensitySet, FockAlgorithm, GBuild};
 use phi_chem::BasisSet;
 use phi_dmpi::FaultPlan;
-use phi_integrals::{Screening, ShellPairs};
+use phi_integrals::{DensityMax, Screening, ShellPairs};
 
 /// Borrowed view of everything a Fock build needs besides the density:
 /// basis, shell-pair dataset, screening, and the Schwarz threshold.
 ///
-/// Cheap to copy (three references and a float); build one per SCF run
+/// Cheap to copy (a few references and a float); build one per SCF run
 /// from a [`FockData`] and pass it to every [`FockBuilder::build`] call.
 #[derive(Clone, Copy)]
 pub struct FockContext<'a> {
@@ -40,6 +40,12 @@ pub struct FockContext<'a> {
     pub screening: &'a Screening,
     /// Schwarz screening threshold on `Q_ij * Q_kl`.
     pub tau: f64,
+    /// Per-shell-pair density-max table for density-weighted screening.
+    /// `None` (the default) keeps the static `Q_ij * Q_kl >= tau` test and
+    /// bit-identical results with pre-incremental builds; incremental
+    /// drivers refresh a table from ΔD each iteration and attach it with
+    /// [`FockContext::with_dmax`].
+    pub dmax: Option<&'a DensityMax>,
 }
 
 impl<'a> FockContext<'a> {
@@ -49,7 +55,29 @@ impl<'a> FockContext<'a> {
         screening: &'a Screening,
         tau: f64,
     ) -> FockContext<'a> {
-        FockContext { basis, pairs, screening, tau }
+        FockContext { basis, pairs, screening, tau, dmax: None }
+    }
+
+    /// The same context with a density-max table attached: every builder's
+    /// quartet test and `ij`-task prescreen become density-weighted.
+    pub fn with_dmax(mut self, dmax: &'a DensityMax) -> FockContext<'a> {
+        self.dmax = Some(dmax);
+        self
+    }
+
+    /// The quartet-level screening test every builder applies: static
+    /// Schwarz when no density table is attached, density-weighted
+    /// otherwise.
+    #[inline]
+    pub fn survives(&self, i: usize, j: usize, k: usize, l: usize) -> bool {
+        self.screening.survives_weighted(self.dmax, i, j, k, l, self.tau)
+    }
+
+    /// The `ij`-task-level prescreen (Algorithm 3, line 13), weighted by
+    /// the attached density table when present.
+    #[inline]
+    pub fn task_survives(&self, i: usize, j: usize) -> bool {
+        self.screening.task_survives_weighted(self.dmax, i, j, self.tau)
     }
 }
 

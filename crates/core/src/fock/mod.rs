@@ -22,6 +22,7 @@
 
 pub mod distributed;
 pub mod engine;
+pub mod incremental;
 pub mod mpi_only;
 pub mod private_fock;
 pub mod serial;
@@ -115,6 +116,24 @@ impl<'a> DensitySet<'a> {
         match self {
             DensitySet::Restricted(_) => 1,
             DensitySet::Unrestricted { .. } => 2,
+        }
+    }
+
+    /// Per-shell-pair density-max table over every matrix this set feeds
+    /// into digestion. Restricted input bounds `|D|`; unrestricted input
+    /// bounds `|D_alpha| + |D_beta|`, which dominates each spin density
+    /// *and* the Coulomb source `D_total = D_alpha + D_beta` — so one
+    /// table covers every channel's updates.
+    pub fn density_max(&self, basis: &BasisSet) -> phi_integrals::DensityMax {
+        match *self {
+            DensitySet::Restricted(d) => {
+                phi_integrals::DensityMax::build(basis, |p, q| d[(p, q)].abs())
+            }
+            DensitySet::Unrestricted { alpha, beta } => {
+                phi_integrals::DensityMax::build(basis, |p, q| {
+                    alpha[(p, q)].abs() + beta[(p, q)].abs()
+                })
+            }
         }
     }
 

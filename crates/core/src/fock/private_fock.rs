@@ -122,7 +122,7 @@ pub fn build_private_fock(
                     // Merged (j, k) loops, workshared dynamically (lines 7-20).
                     tctx.collapse2(i + 1, i + 1, Schedule::dynamic1(), |j, k| {
                         for l in 0..=kl_bounds(i, j, k) {
-                            if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                            if !ctx.survives(i, j, k, l) {
                                 screened += 1;
                                 continue;
                             }

@@ -41,7 +41,7 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
             for j in 0..=i {
                 for k in 0..=i {
                     for l in 0..=kl_bounds(i, j, k) {
-                        if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                        if !ctx.survives(i, j, k, l) {
                             quartets_screened += 1;
                             continue;
                         }

@@ -246,8 +246,8 @@ pub fn build_shared_fock_set(
                 let (i, j) = pair_decode(ij);
                 // Task-level prescreen (lines 13-14).
                 let survives = match prescreen {
-                    TaskPrescreen::QMax => ctx.screening.task_survives(i, j, ctx.tau),
-                    TaskPrescreen::Diagonal => ctx.screening.survives(i, j, i, j, ctx.tau),
+                    TaskPrescreen::QMax => ctx.task_survives(i, j),
+                    TaskPrescreen::Diagonal => ctx.survives(i, j, i, j),
                     TaskPrescreen::Off => true,
                 };
                 if !survives {
@@ -293,7 +293,7 @@ pub fn build_shared_fock_set(
                 let klmax = pair_index(i, j) + 1;
                 tctx.for_each(klmax, Schedule::dynamic1(), |kl| {
                     let (k, l) = pair_decode(kl);
-                    if !ctx.screening.survives(i, j, k, l, ctx.tau) {
+                    if !ctx.survives(i, j, k, l) {
                         screened += 1;
                         return;
                     }

@@ -11,6 +11,12 @@
 //! replay as just another engine: whenever the stored integrals fit the
 //! configured budget, iterations replay them — regardless of which direct
 //! algorithm the run was configured with.
+//!
+//! Incremental (ΔD) SCF composes with the replay unchanged: the replay is
+//! exact and linear in the density, so `G(ΔD)` accumulation is valid — but
+//! it ignores the per-build density-max table (the integrals are already
+//! stored; there is no ERI work to skip), so incremental mode brings no
+//! savings here. The direct builders are where ΔD screening pays off.
 
 use crate::fock::engine::{FockBuilder, FockContext};
 use crate::fock::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, GBuild, TriSink};

@@ -49,6 +49,7 @@ pub mod uhf;
 
 pub use checkpoint::ScfCheckpoint;
 pub use fock::engine::{FockBuilder, FockContext, FockData};
+pub use fock::incremental::IncrementalFock;
 pub use fock::{DensitySet, FockAlgorithm, GBuild};
 pub use incore::IncoreEris;
 pub use memory_model::MemoryModel;

@@ -9,6 +9,7 @@
 use crate::checkpoint::ScfCheckpoint;
 use crate::diis::Diis;
 use crate::fock::engine::{FockBuilder, FockData};
+use crate::fock::incremental::IncrementalFock;
 use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{core_guess, density_from_orbitals, solve_roothaan};
 use crate::stats::FockBuildStats;
@@ -53,7 +54,20 @@ pub struct ScfConfig {
     /// Resume from a previously written checkpoint instead of the core
     /// guess; the resumed run reproduces the uninterrupted one bit-for-bit
     /// (for deterministic builds, i.e. [`FockAlgorithm::Serial`]).
+    ///
+    /// Checkpoints store no incremental reference state, so the first
+    /// build of a resumed run is always a full rebuild — which is what
+    /// keeps the non-incremental bit-for-bit restart claim intact.
     pub resume_from: Option<PathBuf>,
+    /// Incremental (ΔD) Fock builds: iteration `n` builds `G(ΔD)` with
+    /// `ΔD = D_n - D_ref` under density-weighted screening and accumulates
+    /// `G_n = G_ref + G(ΔD)` (see [`crate::fock::incremental`]). Lossy but
+    /// bounded: periodic full rebuilds cap the accumulated screening error.
+    pub incremental: bool,
+    /// In incremental mode, perform a full rebuild every this many builds
+    /// (clamped to >= 1; `1` makes every build full, reproducing the plain
+    /// driver bit for bit). Ignored when `incremental` is false.
+    pub full_rebuild_every: usize,
 }
 
 impl Default for ScfConfig {
@@ -71,6 +85,8 @@ impl Default for ScfConfig {
             faults: None,
             checkpoint_path: None,
             resume_from: None,
+            incremental: false,
+            full_rebuild_every: 8,
         }
     }
 }
@@ -231,13 +247,21 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
     let mut orbital_energies = Vec::new();
     let mut orbitals = Mat::zeros(n, n);
     let mut e_elec = 0.0;
+    // ΔD bookkeeping starts with no reference state, so the first build —
+    // including the first build after a checkpoint resume — is always a
+    // full rebuild.
+    let mut incremental =
+        config.incremental.then(|| IncrementalFock::new(config.full_rebuild_every));
 
     for it in start_iter..config.max_iterations {
         iterations = it + 1;
         let _iter_span = phi_trace::span("scf.iteration");
         let gb = {
             let _span = phi_trace::span("scf.fock");
-            builder.build(&ctx, &DensitySet::Restricted(&d))
+            match incremental.as_mut() {
+                Some(inc) => inc.build(ctx, builder, &[&d]),
+                None => builder.build(&ctx, &DensitySet::Restricted(&d)),
+            }
         };
         fock_stats.push(gb.stats);
         let mut f = h.add(&gb.g);

@@ -44,6 +44,10 @@ pub struct FockBuildStats {
     pub retries: usize,
     /// Ranks that died during this build, in order of death.
     pub failed_ranks: Vec<usize>,
+    /// True when this build was an incremental (ΔD) build: the quartet
+    /// counts describe the density-weighted ΔD pass, not a full build.
+    /// Set by the driver (like `dlb_calls`, not merged).
+    pub incremental: bool,
 }
 
 impl FockBuildStats {

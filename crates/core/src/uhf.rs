@@ -16,6 +16,7 @@
 //! parallel algorithms, selected via [`UhfConfig::algorithm`].
 
 use crate::fock::engine::FockData;
+use crate::fock::incremental::IncrementalFock;
 use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{density_from_orbitals, solve_roothaan};
 use crate::scf::{DivergenceDetector, ScfStop};
@@ -41,6 +42,13 @@ pub struct UhfConfig {
     /// Deterministic fault plan replayed on every spin-Fock build. The
     /// serial algorithm ignores it.
     pub faults: Option<FaultPlan>,
+    /// Incremental (ΔD) spin-Fock builds: both channels accumulate
+    /// `G_s,n = G_s,ref + G_s(ΔD)` — valid because each `G_s` is jointly
+    /// linear in `(D_alpha, D_beta)`. See [`crate::fock::incremental`].
+    pub incremental: bool,
+    /// In incremental mode, perform a full rebuild every this many builds
+    /// (clamped to >= 1; `1` makes every build full).
+    pub full_rebuild_every: usize,
 }
 
 impl Default for UhfConfig {
@@ -53,6 +61,8 @@ impl Default for UhfConfig {
             s_threshold: 1e-8,
             break_symmetry: false,
             faults: None,
+            incremental: false,
+            full_rebuild_every: 8,
         }
     }
 }
@@ -133,6 +143,8 @@ pub fn run_uhf(
     let mut c_a_final = Mat::zeros(n, n);
     let mut c_b_final = Mat::zeros(n, n);
     let mut fock_stats = Vec::new();
+    let mut incremental =
+        config.incremental.then(|| IncrementalFock::new(config.full_rebuild_every));
 
     for it in 0..config.max_iterations {
         iterations = it + 1;
@@ -142,7 +154,10 @@ pub fn run_uhf(
         // G_s = J(D_a + D_b) - K(D_s).
         let gb = {
             let _span = phi_trace::span("scf.fock");
-            builder.build(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b })
+            match incremental.as_mut() {
+                Some(inc) => inc.build(ctx, builder.as_ref(), &[&d_a, &d_b]),
+                None => builder.build(&ctx, &DensitySet::Unrestricted { alpha: &d_a, beta: &d_b }),
+            }
         };
         let g_b = gb.g_beta.unwrap_or_else(|| {
             panic!(

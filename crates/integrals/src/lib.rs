@@ -37,5 +37,5 @@ pub use eri::EriEngine;
 pub use one_electron::{
     dipole_matrices, kinetic_matrix, nuclear_attraction_matrix, overlap_matrix,
 };
-pub use screening::{Screening, WorkloadStats};
+pub use screening::{DensityMax, Screening, WorkloadStats};
 pub use shell_pairs::{ShellPair, ShellPairs};

@@ -32,6 +32,24 @@ pub fn n_pairs(n: usize) -> usize {
     n * (n + 1) / 2
 }
 
+/// Narrow an f64 upper bound to f32 with *upward* rounding.
+///
+/// `v as f32` rounds to nearest, which can round a bound *below* its true
+/// f64 value — a stored "upper bound" that is not an upper bound, so
+/// `survives()` could drop a quartet whose true `Q_ij * Q_kl` is >= tau.
+/// Taking the next representable f32 up whenever the cast rounded down
+/// keeps the stored value a genuine upper bound at a cost of at most one
+/// ulp of slack.
+#[inline]
+pub(crate) fn round_up_f32(v: f64) -> f32 {
+    let w = v as f32;
+    if (w as f64) < v {
+        w.next_up()
+    } else {
+        w
+    }
+}
+
 /// Schwarz bound table `Q_ij` over shell pairs.
 ///
 /// Values are stored as `f32`: screening only ever compares products of
@@ -60,8 +78,12 @@ impl Screening {
         let mut q = vec![0.0f32; n_pairs(n)];
         let mut q_max = 0.0f64;
         for pr in pairs.iter() {
-            q[pair_index(pr.i, pr.j)] = pr.schwarz as f32;
-            q_max = q_max.max(pr.schwarz);
+            let qv = round_up_f32(pr.schwarz);
+            q[pair_index(pr.i, pr.j)] = qv;
+            // Maximize over the *stored* (rounded-up) bounds so the
+            // task-level prescreen can never drop a task that holds a
+            // surviving quartet.
+            q_max = q_max.max(qv as f64);
         }
         Screening { n_shells: n, q, q_max }
     }
@@ -101,8 +123,9 @@ impl Screening {
                     }
                     m.sqrt()
                 };
-                q[pair_index(i, j)] = val as f32;
-                q_max = q_max.max(val);
+                let qv = round_up_f32(val);
+                q[pair_index(i, j)] = qv;
+                q_max = q_max.max(qv as f64);
             }
         }
         Screening { n_shells: n, q, q_max }
@@ -135,6 +158,121 @@ impl Screening {
     #[inline]
     pub fn task_survives(&self, i: usize, j: usize, tau: f64) -> bool {
         self.q(i, j) * self.q_max >= tau
+    }
+
+    /// Density-weighted quartet test: `Q_ij * Q_kl * D_fac >= tau`, where
+    /// `D_fac` is the largest per-shell-pair density magnitude over the six
+    /// pairs a quartet's Coulomb and exchange updates touch
+    /// (`kl`, `ij`, `jl`, `jk`, `il`, `ik` — Algorithm 1's update set).
+    /// Since `|G| <= 2 Q_ij Q_kl max|D|` per destination, a quartet failing
+    /// this test contributes below tau to every Fock element it updates.
+    ///
+    /// With `dmax = None` this degrades to the static [`Self::survives`]
+    /// test, so unweighted builds stay bit-identical.
+    #[inline]
+    pub fn survives_weighted(
+        &self,
+        dmax: Option<&DensityMax>,
+        i: usize,
+        j: usize,
+        k: usize,
+        l: usize,
+        tau: f64,
+    ) -> bool {
+        let qq = self.q(i, j) * self.q(k, l);
+        match dmax {
+            None => qq >= tau,
+            Some(d) => qq * d.quartet_factor(i, j, k, l) >= tau,
+        }
+    }
+
+    /// Density-weighted `ij`-task prescreen: `Q_ij * Q_max * D_max >= tau`
+    /// with the *global* density max. For any quartet of the task,
+    /// `Q_kl <= Q_max` and every per-pair density factor is `<= D_max`, so
+    /// this is a necessary condition of [`Self::survives_weighted`] — the
+    /// prescreen never drops a task holding a surviving weighted quartet.
+    #[inline]
+    pub fn task_survives_weighted(
+        &self,
+        dmax: Option<&DensityMax>,
+        i: usize,
+        j: usize,
+        tau: f64,
+    ) -> bool {
+        let qb = self.q(i, j) * self.q_max;
+        match dmax {
+            None => qb >= tau,
+            Some(d) => qb * d.global_max() >= tau,
+        }
+    }
+}
+
+/// Per-shell-pair density-max table `D_ij^max` for density-weighted
+/// screening.
+///
+/// Refreshed once per Fock build from the incoming density (or density
+/// *difference* in incremental mode): entry `(i, j)` is the largest
+/// absolute density-matrix element over the basis-function block of shell
+/// pair `(i, j)`. Like the `Q` table the entries are stored as `f32` with
+/// upward rounding, so they remain genuine upper bounds.
+pub struct DensityMax {
+    n_shells: usize,
+    d: Vec<f32>,
+    d_max: f64,
+}
+
+impl DensityMax {
+    /// Build the table for `basis` from `abs_den(p, q)` = the absolute
+    /// density value for basis functions `p`, `q` (maximized over spin
+    /// channels by the caller when several matrices feed one build).
+    pub fn build(basis: &BasisSet, abs_den: impl Fn(usize, usize) -> f64) -> DensityMax {
+        let n = basis.n_shells();
+        let mut d = vec![0.0f32; n_pairs(n)];
+        let mut d_max = 0.0f64;
+        for i in 0..n {
+            let si = &basis.shells[i];
+            for j in 0..=i {
+                let sj = &basis.shells[j];
+                let mut m = 0.0f64;
+                for p in si.first_bf..si.first_bf + si.n_functions() {
+                    for q in sj.first_bf..sj.first_bf + sj.n_functions() {
+                        m = m.max(abs_den(p, q));
+                    }
+                }
+                let dv = round_up_f32(m);
+                d[pair_index(i, j)] = dv;
+                d_max = d_max.max(dv as f64);
+            }
+        }
+        DensityMax { n_shells: n, d, d_max }
+    }
+
+    pub fn n_shells(&self) -> usize {
+        self.n_shells
+    }
+
+    /// `D_ij^max` (order of `i`, `j` irrelevant).
+    #[inline]
+    pub fn pair_max(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        self.d[pair_index(i, j)] as f64
+    }
+
+    /// Largest entry in the table.
+    #[inline]
+    pub fn global_max(&self) -> f64 {
+        self.d_max
+    }
+
+    /// Largest density factor over the six shell pairs a quartet `(ij|kl)`
+    /// updates: Coulomb destinations `ij`/`kl` read `D_kl`/`D_ij`, exchange
+    /// destinations read the four cross pairs.
+    #[inline]
+    pub fn quartet_factor(&self, i: usize, j: usize, k: usize, l: usize) -> f64 {
+        let mut m = self.pair_max(i, j).max(self.pair_max(k, l));
+        m = m.max(self.pair_max(i, k)).max(self.pair_max(i, l));
+        m = m.max(self.pair_max(j, k)).max(self.pair_max(j, l));
+        m
     }
 }
 
@@ -591,6 +729,138 @@ mod tests {
         assert_eq!(f.count_at_least(5), 4);
         assert_eq!(f.count_at_least(6), 2);
         assert_eq!(f.count_at_least(N_BUCKETS - 1), 1);
+    }
+
+    /// Regression for the f32-narrowing bug: `val as f32` rounds to
+    /// nearest, so a stored "upper bound" could round *below* the true f64
+    /// bound and `survives()` would drop a quartet whose true
+    /// `Q_ij * Q_kl` is >= tau. With upward rounding the stored bound
+    /// dominates the f64 value for every pair.
+    #[test]
+    fn narrowed_bounds_never_round_below_true_bound() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let pairs = crate::ShellPairs::build_with(&b, 0.0);
+        let s = Screening::from_pairs(&b, &pairs);
+        let mut rounded_up = 0usize;
+        for pr in pairs.iter() {
+            let stored = s.q(pr.i, pr.j);
+            assert!(
+                stored >= pr.schwarz,
+                "pair ({},{}): stored bound {stored:e} < true bound {:e}",
+                pr.i,
+                pr.j,
+                pr.schwarz
+            );
+            // Detects the old `as f32` behaviour: round-to-nearest lands
+            // below the f64 value for roughly half the pairs.
+            if (pr.schwarz as f32 as f64) < pr.schwarz {
+                rounded_up += 1;
+            }
+        }
+        assert!(rounded_up > 0, "no pair exercised the upward-rounding path");
+        assert!(s.q_max() >= pairs.iter().map(|p| p.schwarz).fold(0.0, f64::max));
+    }
+
+    /// A pair product engineered to straddle tau at f32 precision: the
+    /// nearest-f32 narrowing of `q` loses just enough that the product
+    /// drops below tau, while the upward-rounded bound keeps it >= tau.
+    #[test]
+    fn round_up_keeps_threshold_straddling_product_alive() {
+        // q is exactly representable in f64 but not in f32, and sits just
+        // above its f32 neighbor: round-to-nearest goes DOWN.
+        let q: f64 = 1.0 + 2f64.powi(-25) + 2f64.powi(-30);
+        let down = q as f32; // nearest = 1.0 (rounds down)
+        assert!((down as f64) < q, "test premise: cast must round down");
+        let up = round_up_f32(q);
+        assert!((up as f64) >= q, "round_up_f32 must dominate the input");
+        // tau between the two narrowings of q * q.
+        let tau = q * q; // true product exactly meets the threshold
+        assert!(
+            (down as f64) * (down as f64) < tau,
+            "nearest-rounded bound wrongly drops the quartet"
+        );
+        assert!((up as f64) * (up as f64) >= tau);
+        // Exact-representable values must pass through unchanged.
+        assert_eq!(round_up_f32(0.5), 0.5f32);
+        assert_eq!(round_up_f32(0.0), 0.0f32);
+    }
+
+    #[test]
+    fn density_max_covers_shell_blocks() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        // Synthetic |D|: distinct value per (p, q) so block maxima are
+        // easy to cross-check.
+        let den = |p: usize, q: usize| ((p * 31 + q * 7) % 13) as f64 * 0.1;
+        let sym = |p: usize, q: usize| den(p, q).max(den(q, p));
+        let dm = DensityMax::build(&b, sym);
+        assert_eq!(dm.n_shells(), b.n_shells());
+        let mut global = 0.0f64;
+        for i in 0..b.n_shells() {
+            for j in 0..=i {
+                let (si, sj) = (&b.shells[i], &b.shells[j]);
+                let mut want = 0.0f64;
+                for p in si.first_bf..si.first_bf + si.n_functions() {
+                    for q in sj.first_bf..sj.first_bf + sj.n_functions() {
+                        want = want.max(sym(p, q));
+                    }
+                }
+                let got = dm.pair_max(i, j);
+                assert!(got >= want && got <= want * (1.0 + 1e-6) + 1e-30);
+                assert_eq!(dm.pair_max(i, j), dm.pair_max(j, i));
+                global = global.max(got);
+            }
+        }
+        assert_eq!(dm.global_max(), global);
+    }
+
+    #[test]
+    fn weighted_tests_degrade_to_static_without_table() {
+        let (b, s) = water_screening();
+        let n = b.n_shells();
+        for tau in [1e-6, 1e-10] {
+            for i in 0..n {
+                for j in 0..=i {
+                    assert_eq!(
+                        s.task_survives(i, j, tau),
+                        s.task_survives_weighted(None, i, j, tau)
+                    );
+                    for k in 0..=i {
+                        for l in 0..=k {
+                            assert_eq!(
+                                s.survives(i, j, k, l, tau),
+                                s.survives_weighted(None, i, j, k, l, tau)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_task_prescreen_is_necessary_for_weighted_quartets() {
+        let (b, s) = water_screening();
+        // Small density: most quartets die under the weighted test.
+        let dm = DensityMax::build(&b, |p, q| if p == q { 1e-5 } else { 1e-7 });
+        let n = b.n_shells();
+        let tau = 1e-8;
+        let mut weighted_killed = 0u64;
+        for i in 0..n {
+            for j in 0..=i {
+                let task = s.task_survives_weighted(Some(&dm), i, j, tau);
+                for k in 0..=i {
+                    for l in 0..=(if k == i { j } else { k }) {
+                        let q_surv = s.survives_weighted(Some(&dm), i, j, k, l, tau);
+                        // Prescreen must never drop a surviving quartet.
+                        assert!(!q_surv || task, "task ({i},{j}) dropped live quartet");
+                        if s.survives(i, j, k, l, tau) && !q_surv {
+                            weighted_killed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(weighted_killed > 0, "weighted test should prune below the static test");
     }
 
     #[test]

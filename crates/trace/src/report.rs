@@ -207,9 +207,16 @@ impl TraceReport {
         }
         let lo = *durations.iter().min().unwrap();
         let hi = *durations.iter().max().unwrap();
-        let width = ((hi - lo) / n_bins as u64 + 1).max(1);
+        // Smallest equal width whose n_bins bins tightly cover [lo, hi]:
+        // ceil((hi - lo) / n_bins), clamped to 1 for the all-equal case.
+        // (The old `(hi - lo) / n_bins + 1` overstated the width whenever
+        // n_bins divides the range — e.g. hi - lo = 8 with 4 bins reported
+        // width 3, covering 12 ns of an 8 ns range.)
+        let width = (hi - lo).div_ceil(n_bins as u64).max(1);
         let mut bins = vec![0u64; n_bins];
         for d in durations {
+            // `d == hi` lands exactly on the upper edge when the range is
+            // a multiple of the width; clamp it into the last bin.
             let idx = ((d - lo) / width) as usize;
             bins[idx.min(n_bins - 1)] += 1;
         }
@@ -413,6 +420,36 @@ mod tests {
         let h = report.histogram_ns("x", 4).unwrap();
         assert_eq!(h.total_count(), 2);
         assert_eq!((h.lo_ns, h.hi_ns), (100, 300));
+    }
+
+    /// Pins the histogram bin edges: `width = ceil((hi - lo) / n_bins)`,
+    /// so `lo + n_bins * width` tightly covers `hi`. The old
+    /// `(hi - lo) / n_bins + 1` width reported 3 here (covering 12 ns of
+    /// an 8 ns range) and misbinned the upper half of the durations.
+    #[test]
+    fn histogram_bin_edges_tightly_cover_the_range() {
+        // Nine spans with durations 0..=8 ns.
+        let events: Vec<Event> =
+            (0u64..=8).flat_map(|d| [ev_begin("x", 100 * d), ev_end("x", 100 * d + d)]).collect();
+        let report = TraceReport::from_streams(vec![stream(0, 0, events)]);
+        let h = report.histogram_ns("x", 4).unwrap();
+        assert_eq!((h.lo_ns, h.hi_ns), (0, 8));
+        assert_eq!(h.bin_width_ns, 2, "ceil(8 / 4) = 2, not 8 / 4 + 1 = 3");
+        assert_eq!(h.lo_ns + 4 * h.bin_width_ns, h.hi_ns, "bins tightly cover [lo, hi]");
+        // Bins [0,2) [2,4) [4,6) [6,8]: d = 8 sits on the upper edge and
+        // clamps into the last bin.
+        assert_eq!(h.bins, vec![2, 2, 2, 3]);
+        assert_eq!(h.total_count(), 9);
+
+        // Degenerate range: all durations equal -> width clamps to 1.
+        let report = TraceReport::from_streams(vec![stream(
+            0,
+            0,
+            vec![ev_begin("y", 0), ev_end("y", 5), ev_begin("y", 10), ev_end("y", 15)],
+        )]);
+        let h = report.histogram_ns("y", 3).unwrap();
+        assert_eq!(h.bin_width_ns, 1);
+        assert_eq!(h.bins, vec![2, 0, 0]);
     }
 
     #[test]

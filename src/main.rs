@@ -36,6 +36,13 @@ OPTIONS:
     --uhf <NA>,<NB>      run UHF with NA alpha / NB beta electrons
     --mp2                add the MP2 correlation energy after RHF
     --no-diis            disable DIIS acceleration
+    --incremental        incremental (ΔD) Fock builds: each iteration
+                         builds G(ΔD) under density-weighted screening and
+                         accumulates G_n = G_ref + G(ΔD); surviving-quartet
+                         counts collapse as SCF converges (RHF and UHF)
+    --full-rebuild-every <K>
+                         with --incremental, perform a full rebuild every
+                         K-th Fock build (K=1: all full)  [default: 8]
     --faults <SPEC>      deterministic fault injection, replayed on every
                          Fock build: <seed>:<fault>[,<fault>...] with
                          kill@<task> | kill@<rank>#<claim> | kill*<count> |
@@ -142,6 +149,8 @@ fn run() -> Result<(), String> {
     let mut diis = true;
     let mut faults: Option<FaultPlan> = None;
     let mut trace_path: Option<String> = None;
+    let mut incremental = false;
+    let mut full_rebuild_every = 8usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -165,6 +174,15 @@ fn run() -> Result<(), String> {
             }
             "--mp2" => mp2 = true,
             "--no-diis" => diis = false,
+            "--incremental" => incremental = true,
+            "--full-rebuild-every" => {
+                full_rebuild_every = value("full-rebuild-every")?
+                    .parse()
+                    .map_err(|e| format!("bad full-rebuild-every: {e}"))?;
+                if full_rebuild_every == 0 {
+                    return Err("--full-rebuild-every needs K >= 1".into());
+                }
+            }
             "--faults" => faults = Some(FaultPlan::parse(&value("faults")?)?),
             "--trace" => trace_path = Some(value("trace")?),
             "--help" | "-h" => {
@@ -210,6 +228,8 @@ fn run() -> Result<(), String> {
             screening_tau: tau,
             max_iterations: max_iter,
             faults: faults.clone(),
+            incremental,
+            full_rebuild_every,
             ..Default::default()
         };
         let r = run_uhf(&mol, &b, na, nb, &config);
@@ -242,6 +262,8 @@ fn run() -> Result<(), String> {
         max_iterations: max_iter,
         diis,
         faults: faults.clone(),
+        incremental,
+        full_rebuild_every,
         ..Default::default()
     };
     let r = run_scf(&mol, &b, &config);
@@ -269,6 +291,16 @@ fn run() -> Result<(), String> {
             s.screened_fraction() * 100.0,
             s.dlb_tasks
         );
+    }
+    if incremental {
+        if let (Some(first), Some(last)) = (r.fock_stats.first(), r.fock_stats.last()) {
+            let ratio = first.quartets_computed as f64 / (last.quartets_computed.max(1)) as f64;
+            println!(
+                "incremental: final build computed {} quartets ({ratio:.1}x fewer than the \
+                 first full build's {})",
+                last.quartets_computed, first.quartets_computed
+            );
+        }
     }
     if mp2 {
         if !r.converged {
