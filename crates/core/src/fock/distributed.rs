@@ -16,7 +16,8 @@
 //! measured with the same instrumentation.
 
 use super::engine::FockContext;
-use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet, FockSink};
+use super::matrix::RowBufferFock;
+use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{DistributedArray, FaultPlan, LeaseMode};
@@ -25,23 +26,6 @@ use phi_linalg::Mat;
 use std::time::Instant;
 
 pub use super::GBuild;
-
-/// Canonical updates collected locally, flushed to the distributed array in
-/// row batches to amortize one-sided calls.
-struct ScatterSink {
-    /// Lower-triangular accumulation for the rows this rank touched.
-    buf: Vec<f64>,
-    touched: Vec<bool>,
-    n: usize,
-}
-
-impl FockSink for ScatterSink {
-    #[inline]
-    fn add(&mut self, mu: usize, nu: usize, v: f64) {
-        self.buf[mu * self.n + nu] += v;
-        self.touched[mu] = true;
-    }
-}
 
 /// Build the two-electron matrices for `dens` with DLB over `(i,j)` pairs
 /// and a *distributed* Fock matrix per spin channel.
@@ -88,9 +72,9 @@ pub fn build_distributed(
 
         let mut engine = EriEngine::new();
         let mut eri_buf: Vec<f64> = Vec::new();
-        let mut sinks: Vec<ScatterSink> = (0..nch)
-            .map(|_| ScatterSink { buf: vec![0.0; n * n], touched: vec![false; n], n })
-            .collect();
+        // The write side of the distribution-aware matrix layer: a full
+        // local row buffer flushed as whole rows (see fock::matrix).
+        let mut sinks: Vec<RowBufferFock> = (0..nch).map(|_| RowBufferFock::new(n)).collect();
         let mut computed = 0u64;
         let mut screened = 0u64;
         let mut tasks = 0usize;
@@ -137,7 +121,7 @@ pub fn build_distributed(
                 // completed-but-unflushed task.
                 let _span = phi_trace::span("fock.flush_scatter");
                 for (fock, sink) in focks.iter().zip(&mut sinks) {
-                    flushes += flush_rows(fock, rank.rank(), sink);
+                    flushes += sink.flush_rows(fock, rank.rank());
                 }
                 rank.lease_complete(t);
             } else {
@@ -149,7 +133,7 @@ pub fn build_distributed(
                 if tasks.is_multiple_of(32) {
                     let _span = phi_trace::span("fock.flush_scatter");
                     for (fock, sink) in focks.iter().zip(&mut sinks) {
-                        flushes += flush_rows(fock, rank.rank(), sink);
+                        flushes += sink.flush_rows(fock, rank.rank());
                     }
                 }
             }
@@ -158,7 +142,7 @@ pub fn build_distributed(
             {
                 let _span = phi_trace::span("fock.flush_scatter");
                 for (fock, sink) in focks.iter().zip(&mut sinks) {
-                    flushes += flush_rows(fock, rank.rank(), sink);
+                    flushes += sink.flush_rows(fock, rank.rank());
                 }
             }
             // Everyone alive must finish accumulating before anyone reads;
@@ -232,27 +216,6 @@ pub fn build_g_distributed(
         n_ranks,
         None,
     )
-}
-
-/// Flush every touched row of the scatter buffer into the distributed
-/// array and clear it; returns the number of row segments accumulated.
-fn flush_rows(fock: &DistributedArray, rank: usize, sink: &mut ScatterSink) -> u64 {
-    let n = sink.n;
-    let mut flushed = 0u64;
-    for row in 0..n {
-        if !sink.touched[row] {
-            continue;
-        }
-        sink.touched[row] = false;
-        // Lower-triangular row segment [row*n, row*n + row].
-        let seg = &mut sink.buf[row * n..row * n + row + 1];
-        if seg.iter().any(|&v| v != 0.0) {
-            fock.acc(rank, row * n, seg);
-            seg.iter_mut().for_each(|v| *v = 0.0);
-            flushed += 1;
-        }
-    }
-    flushed
 }
 
 #[cfg(test)]

@@ -212,6 +212,27 @@ impl FockBuilder for SharedFockBuilder {
     }
 }
 
+/// Fully sharded build: density *and* Fock live in tri-packed
+/// [`phi_dmpi::DistributedArray`] windows, no rank ever materializes a
+/// full `N x N` matrix ([`super::sharded`]).
+pub struct ShardedBuilder {
+    pub n_ranks: usize,
+    /// DDI transport the get/accumulate windows model.
+    pub mode: phi_dmpi::DdiMode,
+    /// Deterministic fault plan applied to every build; `None` runs clean.
+    pub faults: Option<FaultPlan>,
+}
+
+impl FockBuilder for ShardedBuilder {
+    fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
+        super::sharded::build_sharded(ctx, dens, self.n_ranks, self.mode, self.faults.as_ref())
+    }
+
+    fn label(&self) -> &'static str {
+        "sharded"
+    }
+}
+
 /// Related-work baseline: Fock distributed over ranks with one-sided
 /// accumulates ([`super::distributed`]).
 pub struct DistributedBuilder {
@@ -255,6 +276,9 @@ impl FockAlgorithm {
             FockAlgorithm::Distributed { n_ranks } => {
                 Box::new(DistributedBuilder { n_ranks, faults })
             }
+            FockAlgorithm::Sharded { n_ranks, mode } => {
+                Box::new(ShardedBuilder { n_ranks, mode, faults })
+            }
         }
     }
 }
@@ -285,6 +309,7 @@ mod tests {
             FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 3 },
             FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
             FockAlgorithm::Distributed { n_ranks: 3 },
+            FockAlgorithm::Sharded { n_ranks: 3, mode: phi_dmpi::DdiMode::Mpi3OneSided },
         ] {
             let builder = alg.builder();
             let got = builder.build(&ctx, &DensitySet::Restricted(&d));
@@ -314,6 +339,7 @@ mod tests {
             FockAlgorithm::PrivateFock { n_ranks: 2, n_threads: 2 },
             FockAlgorithm::SharedFock { n_ranks: 1, n_threads: 3 },
             FockAlgorithm::Distributed { n_ranks: 2 },
+            FockAlgorithm::Sharded { n_ranks: 2, mode: phi_dmpi::DdiMode::DataServer },
         ] {
             let builder = alg.builder();
             let got = builder.build(&ctx, &dens);
@@ -344,6 +370,7 @@ mod tests {
             FockAlgorithm::PrivateFock { n_ranks: 2, n_threads: 2 },
             FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
             FockAlgorithm::Distributed { n_ranks: 2 },
+            FockAlgorithm::Sharded { n_ranks: 2, mode: phi_dmpi::DdiMode::Mpi3OneSided },
         ] {
             let got = alg.builder().build(&ctx, &DensitySet::Restricted(&d));
             // Every DLB-driven builder makes at least one counter call per

@@ -1,0 +1,725 @@
+//! Distribution-aware matrix layer: how builders *read* density and
+//! *write* Fock contributions, independent of where the matrices live.
+//!
+//! The read side is [`DensityView`], the write side [`FockAccumulator`];
+//! each has two backends:
+//!
+//! * **Replicated** — the matrices exist in full on every rank.
+//!   [`ReplicatedFock`] owns the per-channel lower-triangle accumulation
+//!   buffers every replicated builder (serial, MPI-only, private-Fock,
+//!   shared-Fock) digests into, and `DensityView::Replicated` wraps the
+//!   prepared [`DensityWork`]. The replicated read path stays on the
+//!   monomorphic digestion in `fock/mod.rs` — this layer adds no cost to
+//!   the paper's three algorithms.
+//! * **RowShard** — the matrices live in tri-packed row shards inside
+//!   [`phi_dmpi::DistributedArray`] windows, striped over ranks.
+//!   [`ShardDensity`] reads rows on demand through `get` with a bounded
+//!   row cache; [`RowShardFock`] buffers contributions sparsely and
+//!   flushes them as coalesced `acc` runs. No rank ever materializes a
+//!   full `N x N` matrix — per-rank memory is the owned window stripes
+//!   plus two O(N) caches.
+//!
+//! The tri-packed layout stores the lower triangle row-major:
+//! element `(p, q)` with `p >= q` lives at `p (p + 1) / 2 + q`, so one
+//! matrix costs `N (N + 1) / 2` words total across all ranks instead of
+//! `N^2` words *per* rank.
+
+use super::{DensityWork, FockSink, TriSink};
+use phi_chem::BasisSet;
+use phi_dmpi::{DdiMode, DistributedArray};
+use phi_linalg::Mat;
+use std::collections::{HashMap, VecDeque};
+
+/// Length of a tri-packed lower triangle of an `n x n` symmetric matrix.
+#[inline]
+pub fn tri_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Tri-packed index of element `(p, q)`, `p >= q`.
+#[inline]
+pub fn tri_index(p: usize, q: usize) -> usize {
+    debug_assert!(p >= q);
+    p * (p + 1) / 2 + q
+}
+
+/// Row-cache capacity in *elements* for the sharded density reader.
+/// O(N): big enough to keep the bra rows plus the sweeping ket rows of a
+/// task hot, small enough that it never approaches a replicated matrix.
+pub fn shard_cache_elems(n: usize) -> usize {
+    (16 * n).max(1024)
+}
+
+/// Pending-entry capacity of the sharded Fock write buffer. Each entry is
+/// 16 bytes (packed index + value); O(N) total.
+pub fn shard_flush_entries(n: usize) -> usize {
+    (8 * n).max(512)
+}
+
+// ---------------------------------------------------------------------
+// Replicated backend (write side)
+// ---------------------------------------------------------------------
+
+/// The replicated write-side backend: per-channel lower-triangle
+/// accumulation buffers owned in full by one rank (or one thread).
+///
+/// Centralizes the `vec![0.0; nch * n * n]` + [`TriSink`] +
+/// `tri_to_full` boilerplate the replicated builders all shared.
+pub struct ReplicatedFock {
+    bufs: Vec<f64>,
+    nch: usize,
+    n: usize,
+}
+
+impl ReplicatedFock {
+    pub fn new(nch: usize, n: usize) -> ReplicatedFock {
+        ReplicatedFock { bufs: vec![0.0; nch * n * n], nch, n }
+    }
+
+    /// Wrap an existing channel-major lower-triangle buffer (e.g. the
+    /// snapshot a `gsumf` reduction produced) in the replicated backend.
+    pub fn from_raw(bufs: Vec<f64>, nch: usize, n: usize) -> ReplicatedFock {
+        debug_assert_eq!(bufs.len(), nch * n * n);
+        ReplicatedFock { bufs, nch, n }
+    }
+
+    /// Bytes this backend holds resident (for the live memory tracker).
+    pub fn bytes(&self) -> usize {
+        self.bufs.len() * std::mem::size_of::<f64>()
+    }
+
+    /// One [`TriSink`] per spin channel, borrowing the buffers.
+    pub fn sinks(&mut self) -> Vec<TriSink<'_>> {
+        let n = self.n;
+        self.bufs.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect()
+    }
+
+    /// The raw channel-major accumulation buffer (e.g. for `gsumf`).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.bufs
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.bufs
+    }
+
+    /// Sum another replica into this one (the OpenMP
+    /// `reduction(+ : Fock)` step of Algorithm 2).
+    pub fn reduce_from(&mut self, other: &ReplicatedFock) {
+        debug_assert_eq!(self.bufs.len(), other.bufs.len());
+        for (dst, src) in self.bufs.iter_mut().zip(&other.bufs) {
+            *dst += src;
+        }
+    }
+
+    /// Mirror each channel's lower triangle into a full symmetric matrix.
+    pub fn into_mats(self) -> Vec<Mat> {
+        let n = self.n;
+        let _ = self.nch;
+        self.bufs.chunks(n * n).map(|b| super::tri_to_full(b, n)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RowShard backend (read side)
+// ---------------------------------------------------------------------
+
+/// Scatter a prepared density into tri-packed DDI windows, striped over
+/// `n_ranks`. Restricted input yields one window (`D`); unrestricted
+/// input yields three (`D_total`, `D_alpha`, `D_beta`) so Coulomb and
+/// per-spin exchange reads each have a home. Runs on the driver before
+/// the world starts; the windows outlive rank deaths.
+pub fn scatter_density(
+    work: &DensityWork<'_>,
+    n: usize,
+    n_ranks: usize,
+    mode: DdiMode,
+) -> Vec<DistributedArray> {
+    let pack = |m: &Mat| {
+        let mut buf = vec![0.0; tri_len(n)];
+        for p in 0..n {
+            for q in 0..=p {
+                buf[tri_index(p, q)] = m[(p, q)];
+            }
+        }
+        let win = DistributedArray::new_with_mode(tri_len(n), n_ranks, mode);
+        win.put(0, 0, &buf);
+        win
+    };
+    match work {
+        DensityWork::Restricted(d) => vec![pack(d)],
+        DensityWork::Unrestricted { total, alpha, beta } => {
+            vec![pack(total), pack(alpha), pack(beta)]
+        }
+    }
+}
+
+/// Gather a tri-packed Fock window back into a full symmetric matrix
+/// (driver side, after the world has finished accumulating).
+pub fn gather_tri(win: &DistributedArray, n: usize) -> Mat {
+    let mut buf = vec![0.0; tri_len(n)];
+    win.get(0, 0, &mut buf);
+    let mut m = Mat::zeros(n, n);
+    for p in 0..n {
+        for q in 0..=p {
+            let v = buf[tri_index(p, q)];
+            m[(p, q)] = v;
+            m[(q, p)] = v;
+        }
+    }
+    m
+}
+
+/// Read side of the RowShard backend: on-demand tri-packed row fetches
+/// from the density windows with a bounded FIFO row cache.
+///
+/// Window 0 is the Coulomb source (`D` restricted, `D_total` UHF);
+/// windows `1..` are the per-spin exchange densities of a UHF build.
+pub struct ShardDensity<'a> {
+    wins: &'a [DistributedArray],
+    rank: usize,
+    /// `(window, row) -> row values [row*(row+1)/2 .. +row+1)`.
+    cache: HashMap<(u32, u32), Vec<f64>>,
+    /// FIFO eviction order of cached rows.
+    order: VecDeque<(u32, u32)>,
+    /// Elements currently cached / capacity in elements.
+    cached_elems: usize,
+    cap_elems: usize,
+}
+
+impl<'a> ShardDensity<'a> {
+    pub fn new(wins: &'a [DistributedArray], n: usize, rank: usize) -> ShardDensity<'a> {
+        ShardDensity {
+            wins,
+            rank,
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            cached_elems: 0,
+            cap_elems: shard_cache_elems(n),
+        }
+    }
+
+    /// Number of spin output channels this density feeds (1 restricted,
+    /// 2 unrestricted).
+    pub fn n_out(&self) -> usize {
+        if self.wins.len() == 1 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Exchange scale: RHF digests `-X/2 * D`, UHF `-X * D_s`.
+    pub fn k_factor(&self) -> f64 {
+        if self.wins.len() == 1 {
+            -0.5
+        } else {
+            -1.0
+        }
+    }
+
+    fn row(&mut self, win: usize, r: usize) -> &[f64] {
+        let key = (win as u32, r as u32);
+        if !self.cache.contains_key(&key) {
+            while self.cached_elems + r + 1 > self.cap_elems {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        if let Some(v) = self.cache.remove(&old) {
+                            self.cached_elems -= v.len();
+                        }
+                    }
+                    None => break, // single row larger than cap: cache it anyway
+                }
+            }
+            let mut buf = vec![0.0; r + 1];
+            self.wins[win].get(self.rank, tri_index(r, 0), &mut buf);
+            self.cached_elems += buf.len();
+            self.cache.insert(key, buf);
+            self.order.push_back(key);
+        }
+        &self.cache[&key]
+    }
+
+    /// Symmetric element read from window `win`.
+    fn value(&mut self, win: usize, p: usize, q: usize) -> f64 {
+        let (r, c) = if p >= q { (p, q) } else { (q, p) };
+        self.row(win, r)[c]
+    }
+
+    /// Coulomb-source element (`D` or `D_total`).
+    pub fn coulomb(&mut self, p: usize, q: usize) -> f64 {
+        self.value(0, p, q)
+    }
+
+    /// Exchange-source element for spin channel `ch`.
+    pub fn exchange(&mut self, ch: usize, p: usize, q: usize) -> f64 {
+        let win = if self.wins.len() == 1 { 0 } else { 1 + ch };
+        self.value(win, p, q)
+    }
+
+    /// Bytes of bounded per-rank state (the row cache at capacity).
+    pub fn budget_bytes(&self) -> usize {
+        self.cap_elems * std::mem::size_of::<f64>()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RowShard backend (write side)
+// ---------------------------------------------------------------------
+
+/// Write side of the RowShard backend: contributions are buffered as
+/// sparse `(channel, tri index, value)` entries and flushed as coalesced
+/// one-sided `acc` runs into the tri-packed Fock windows.
+///
+/// Durability contract (the PR 3 fault model): a kill can only fire
+/// inside `lease_next`, i.e. *between* tasks — so as long as the builder
+/// flushes before `lease_complete` of each task (flush-then-complete,
+/// like the distributed builder), a dead rank never strands completed
+/// work, and capacity-triggered flushes mid-task are safe in every mode.
+pub struct RowShardFock<'a> {
+    wins: &'a [DistributedArray],
+    rank: usize,
+    /// Packed key: `channel << 48 | tri index`.
+    pending: Vec<(u64, f64)>,
+    cap: usize,
+    /// One-sided `acc` runs issued so far.
+    pub flushes: u64,
+}
+
+impl<'a> RowShardFock<'a> {
+    pub fn new(wins: &'a [DistributedArray], n: usize, rank: usize) -> RowShardFock<'a> {
+        let cap = shard_flush_entries(n);
+        RowShardFock { wins, rank, pending: Vec::with_capacity(cap), cap, flushes: 0 }
+    }
+
+    /// Canonical update `F_ch[mu, nu] += v` (`mu >= nu`).
+    #[inline]
+    pub fn add(&mut self, ch: usize, mu: usize, nu: usize, v: f64) {
+        debug_assert!(mu >= nu);
+        self.pending.push((((ch as u64) << 48) | tri_index(mu, nu) as u64, v));
+    }
+
+    /// Whether the pending buffer has reached its capacity.
+    pub fn full(&self) -> bool {
+        self.pending.len() >= self.cap
+    }
+
+    /// Sort, merge and accumulate every pending entry into the windows as
+    /// contiguous runs, then clear the buffer.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_unstable_by_key(|&(k, _)| k);
+        let mut run_start_key = self.pending[0].0;
+        let mut run: Vec<f64> = Vec::new();
+        let mut last_key = run_start_key;
+        let mut acc = 0.0;
+        let flush_run = |this_flushes: &mut u64,
+                         wins: &[DistributedArray],
+                         rank: usize,
+                         start_key: u64,
+                         vals: &[f64]| {
+            let ch = (start_key >> 48) as usize;
+            let lo = (start_key & 0xFFFF_FFFF_FFFF) as usize;
+            wins[ch].acc(rank, lo, vals);
+            *this_flushes += 1;
+        };
+        for &(key, v) in &self.pending {
+            if key == last_key {
+                acc += v;
+                continue;
+            }
+            run.push(acc);
+            if key != last_key + 1 || (key >> 48) != (last_key >> 48) {
+                flush_run(&mut self.flushes, self.wins, self.rank, run_start_key, &run);
+                run.clear();
+                run_start_key = key;
+            }
+            last_key = key;
+            acc = v;
+        }
+        run.push(acc);
+        flush_run(&mut self.flushes, self.wins, self.rank, run_start_key, &run);
+        self.pending.clear();
+    }
+
+    /// Bytes of bounded per-rank state (the pending buffer at capacity).
+    pub fn budget_bytes(&self) -> usize {
+        self.cap * std::mem::size_of::<(u64, f64)>()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The unified view/accumulator pair and generic digestion
+// ---------------------------------------------------------------------
+
+/// Read side of one Fock build: where density elements come from.
+pub enum DensityView<'a> {
+    /// Full matrices on this rank (wraps the prepared [`DensityWork`]).
+    Replicated(&'a DensityWork<'a>),
+    /// Tri-packed DDI row shards with a bounded row cache.
+    RowShard(ShardDensity<'a>),
+}
+
+impl DensityView<'_> {
+    pub fn n_out(&self) -> usize {
+        match self {
+            DensityView::Replicated(w) => w.n_channels(),
+            DensityView::RowShard(s) => s.n_out(),
+        }
+    }
+
+    pub fn k_factor(&self) -> f64 {
+        match self {
+            DensityView::Replicated(w) => match w {
+                DensityWork::Restricted(_) => -0.5,
+                DensityWork::Unrestricted { .. } => -1.0,
+            },
+            DensityView::RowShard(s) => s.k_factor(),
+        }
+    }
+
+    /// Coulomb-source element (`D` restricted, `D_total` UHF).
+    #[inline]
+    pub fn coulomb(&mut self, p: usize, q: usize) -> f64 {
+        match self {
+            DensityView::Replicated(w) => match w {
+                DensityWork::Restricted(d) => d[(p, q)],
+                DensityWork::Unrestricted { total, .. } => total[(p, q)],
+            },
+            DensityView::RowShard(s) => s.coulomb(p, q),
+        }
+    }
+
+    /// Exchange-source element for spin channel `ch`.
+    #[inline]
+    pub fn exchange(&mut self, ch: usize, p: usize, q: usize) -> f64 {
+        match self {
+            DensityView::Replicated(w) => match w {
+                DensityWork::Restricted(d) => d[(p, q)],
+                DensityWork::Unrestricted { alpha, beta, .. } => {
+                    if ch == 0 {
+                        alpha[(p, q)]
+                    } else {
+                        beta[(p, q)]
+                    }
+                }
+            },
+            DensityView::RowShard(s) => s.exchange(ch, p, q),
+        }
+    }
+}
+
+/// Write side of one Fock build: where canonical updates land.
+pub enum FockAccumulator<'a> {
+    Replicated(ReplicatedFock),
+    RowShard(RowShardFock<'a>),
+}
+
+impl FockAccumulator<'_> {
+    #[inline]
+    pub fn add(&mut self, ch: usize, mu: usize, nu: usize, v: f64) {
+        match self {
+            FockAccumulator::Replicated(r) => {
+                let n = r.n;
+                r.bufs[ch * n * n + mu * n + nu] += v;
+            }
+            FockAccumulator::RowShard(s) => s.add(ch, mu, nu, v),
+        }
+    }
+}
+
+/// Digest one canonical shell quartet through the distribution-aware
+/// layer: reads via [`DensityView`], writes via [`FockAccumulator`].
+///
+/// Semantically identical to the monomorphic `digest_quartet_dens` —
+/// per unique ordered tuple `(a,b,c,e)` of the integral's orbit,
+/// Coulomb `F_ch[ab] += D_J[ce] * X` into every spin channel and
+/// exchange `F_ch[ac] += k * X * D_ch[be]` with `k` = -1/2 (RHF) or
+/// -1 (UHF). The replicated builders keep the monomorphic path for
+/// speed; equivalence is asserted by this module's tests.
+#[allow(clippy::too_many_arguments)]
+pub fn digest_quartet_view(
+    basis: &BasisSet,
+    si: usize,
+    sj: usize,
+    sk: usize,
+    sl: usize,
+    quartet: &[f64],
+    view: &mut DensityView<'_>,
+    acc: &mut FockAccumulator<'_>,
+) {
+    let sh_i = &basis.shells[si];
+    let sh_j = &basis.shells[sj];
+    let sh_k = &basis.shells[sk];
+    let sh_l = &basis.shells[sl];
+    let (ni, nj, nk, nl) =
+        (sh_i.n_functions(), sh_j.n_functions(), sh_k.n_functions(), sh_l.n_functions());
+    let (fi, fj, fk, fl) = (sh_i.first_bf, sh_j.first_bf, sh_k.first_bf, sh_l.first_bf);
+    let same_ij = si == sj;
+    let same_kl = sk == sl;
+    let same_pair = si == sk && sj == sl;
+    let nch = view.n_out();
+    let kf = view.k_factor();
+
+    for a in 0..ni {
+        let mu = fi + a;
+        let b_hi = if same_ij { a + 1 } else { nj };
+        for b in 0..b_hi {
+            let nu = fj + b;
+            let munu = mu * (mu + 1) / 2 + nu;
+            for c in 0..nk {
+                let lam = fk + c;
+                let d_hi = if same_kl { c + 1 } else { nl };
+                for dd in 0..d_hi {
+                    let sig = fl + dd;
+                    if same_pair && lam * (lam + 1) / 2 + sig > munu {
+                        continue;
+                    }
+                    let x = quartet[((a * nj + b) * nk + c) * nl + dd];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let orbit = [
+                        (mu, nu, lam, sig),
+                        (nu, mu, lam, sig),
+                        (mu, nu, sig, lam),
+                        (nu, mu, sig, lam),
+                        (lam, sig, mu, nu),
+                        (sig, lam, mu, nu),
+                        (lam, sig, nu, mu),
+                        (sig, lam, nu, mu),
+                    ];
+                    for (idx, &(p, q, r, s)) in orbit.iter().enumerate() {
+                        if orbit[..idx].contains(&(p, q, r, s)) {
+                            continue;
+                        }
+                        if p >= q {
+                            let j = view.coulomb(r, s) * x;
+                            for ch in 0..nch {
+                                acc.add(ch, p, q, j);
+                            }
+                        }
+                        if p >= r {
+                            for ch in 0..nch {
+                                acc.add(ch, p, r, kf * x * view.exchange(ch, q, s));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Row-buffer write backend of the *distributed* builder (N x N Fock
+/// striped over ranks, full local scatter buffer): canonical updates land
+/// in a row-major lower-triangle buffer, flushed as whole touched rows.
+/// Predates the sparse [`RowShardFock`]; kept for the builder that
+/// deliberately trades a full local buffer for fewer `acc` calls.
+pub struct RowBufferFock {
+    /// Lower-triangular accumulation for the rows this rank touched.
+    pub buf: Vec<f64>,
+    pub touched: Vec<bool>,
+    pub n: usize,
+}
+
+impl RowBufferFock {
+    pub fn new(n: usize) -> RowBufferFock {
+        RowBufferFock { buf: vec![0.0; n * n], touched: vec![false; n], n }
+    }
+
+    /// Flush every touched row into the distributed array and clear it;
+    /// returns the number of row segments accumulated.
+    pub fn flush_rows(&mut self, fock: &DistributedArray, rank: usize) -> u64 {
+        let n = self.n;
+        let mut flushed = 0u64;
+        for row in 0..n {
+            if !self.touched[row] {
+                continue;
+            }
+            self.touched[row] = false;
+            // Lower-triangular row segment [row*n, row*n + row].
+            let seg = &mut self.buf[row * n..row * n + row + 1];
+            if seg.iter().any(|&v| v != 0.0) {
+                fock.acc(rank, row * n, seg);
+                seg.iter_mut().for_each(|v| *v = 0.0);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+}
+
+impl FockSink for RowBufferFock {
+    #[inline]
+    fn add(&mut self, mu: usize, nu: usize, v: f64) {
+        self.buf[mu * self.n + nu] += v;
+        self.touched[mu] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::{serial::build_g_serial, DensitySet};
+    use phi_chem::basis::BasisName;
+    use phi_chem::geom::small;
+    use phi_integrals::{EriEngine, Screening, ShellPairs};
+
+    fn density(n: usize) -> Mat {
+        Mat::from_fn(n, n, |i, j| {
+            let (i, j) = if i >= j { (i, j) } else { (j, i) };
+            0.2 + ((i * 5 + j * 7) % 8) as f64 * 0.05
+        })
+    }
+
+    /// Full serial quartet sweep through the generic view/accumulator
+    /// pair with the given backends; returns the per-channel matrices.
+    fn sweep(
+        b: &BasisSet,
+        dens: &DensitySet<'_>,
+        mut view: DensityView<'_>,
+        mut acc: FockAccumulator<'_>,
+    ) -> Vec<Mat> {
+        let _ = dens;
+        let pairs = ShellPairs::build(b);
+        let s = Screening::from_pairs(b, &pairs);
+        let ns = b.n_shells();
+        let mut engine = EriEngine::new();
+        let mut eri = Vec::new();
+        for i in 0..ns {
+            for j in 0..=i {
+                for k in 0..=i {
+                    for l in 0..=super::super::kl_bounds(i, j, k) {
+                        if !s.survives(i, j, k, l, 1e-14) {
+                            continue;
+                        }
+                        let (bra, ket) = (pairs.pair(i, j), pairs.pair(k, l));
+                        eri.clear();
+                        eri.resize(bra.n_fn() * ket.n_fn(), 0.0);
+                        engine.shell_quartet_pairs(bra, ket, &mut eri);
+                        digest_quartet_view(b, i, j, k, l, &eri, &mut view, &mut acc);
+                    }
+                }
+            }
+        }
+        match acc {
+            FockAccumulator::Replicated(r) => r.into_mats(),
+            FockAccumulator::RowShard(mut s) => {
+                s.flush();
+                Vec::new() // caller gathers from the windows
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_view_matches_monomorphic_serial_digestion() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let n = b.n_basis();
+        let d = density(n);
+        let pairs = ShellPairs::build(&b);
+        let s = Screening::from_pairs(&b, &pairs);
+        let want = build_g_serial(&b, &pairs, &s, 1e-14, &d).g;
+        let dens = DensitySet::Restricted(&d);
+        let work = dens.prepare();
+        let mats = sweep(
+            &b,
+            &dens,
+            DensityView::Replicated(&work),
+            FockAccumulator::Replicated(ReplicatedFock::new(1, n)),
+        );
+        assert!(mats[0].max_abs_diff(&want) < 1e-12, "diff {}", mats[0].max_abs_diff(&want));
+    }
+
+    #[test]
+    fn rowshard_backends_match_replicated_restricted_and_uhf() {
+        let b = BasisSet::build(&small::water(), BasisName::B631g);
+        let n = b.n_basis();
+        let d_a = density(n);
+        let mut d_b = density(n);
+        d_b.scale(0.7);
+        for (label, dens) in [
+            ("restricted", DensitySet::Restricted(&d_a)),
+            ("unrestricted", DensitySet::Unrestricted { alpha: &d_a, beta: &d_b }),
+        ] {
+            let work = dens.prepare();
+            let nch = dens.n_channels();
+            let want = sweep(
+                &b,
+                &dens,
+                DensityView::Replicated(&work),
+                FockAccumulator::Replicated(ReplicatedFock::new(nch, n)),
+            );
+            for mode in [DdiMode::Mpi3OneSided, DdiMode::DataServer] {
+                let d_wins = scatter_density(&work, n, 3, mode);
+                let f_wins: Vec<DistributedArray> = (0..nch)
+                    .map(|_| DistributedArray::new_with_mode(tri_len(n), 3, mode))
+                    .collect();
+                let mats = sweep(
+                    &b,
+                    &dens,
+                    DensityView::RowShard(ShardDensity::new(&d_wins, n, 0)),
+                    FockAccumulator::RowShard(RowShardFock::new(&f_wins, n, 0)),
+                );
+                assert!(mats.is_empty());
+                for (ch, want_ch) in want.iter().enumerate() {
+                    let got = gather_tri(&f_wins[ch], n);
+                    assert!(
+                        got.max_abs_diff(want_ch) < 1e-12,
+                        "{label} ch {ch} {:?}: diff {}",
+                        mode,
+                        got.max_abs_diff(want_ch)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_density_cache_stays_bounded_and_reads_symmetric() {
+        let n = 40;
+        let d = density(n);
+        let dens = DensitySet::Restricted(&d);
+        let work = dens.prepare();
+        let wins = scatter_density(&work, n, 4, DdiMode::Mpi3OneSided);
+        let mut reader = ShardDensity::new(&wins, n, 1);
+        for p in 0..n {
+            for q in 0..n {
+                assert_eq!(reader.coulomb(p, q), d[(p, q)], "({p},{q})");
+            }
+        }
+        assert!(reader.cached_elems <= reader.cap_elems.max(n));
+    }
+
+    #[test]
+    fn rowshard_flush_merges_duplicates_and_coalesces_runs() {
+        let n = 8;
+        let wins = vec![DistributedArray::new(tri_len(n), 2)];
+        let mut acc = RowShardFock::new(&wins, n, 0);
+        acc.add(0, 3, 1, 2.0);
+        acc.add(0, 3, 1, 0.5); // duplicate key: merged before the acc
+        acc.add(0, 3, 2, 1.0); // adjacent: same run
+        acc.add(0, 6, 0, 4.0); // separate run
+        acc.flush();
+        assert_eq!(acc.flushes, 2, "two coalesced runs");
+        let m = gather_tri(&wins[0], n);
+        assert_eq!(m[(3, 1)], 2.5);
+        assert_eq!(m[(3, 2)], 1.0);
+        assert_eq!(m[(6, 0)], 4.0);
+        assert_eq!(m[(5, 5)], 0.0);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let n = 17;
+        let d = density(n);
+        let dens = DensitySet::Restricted(&d);
+        let work = dens.prepare();
+        for mode in [DdiMode::Mpi3OneSided, DdiMode::DataServer] {
+            let wins = scatter_density(&work, n, 5, mode);
+            assert_eq!(gather_tri(&wins[0], n).max_abs_diff(&d), 0.0);
+        }
+    }
+}

@@ -23,9 +23,11 @@
 pub mod distributed;
 pub mod engine;
 pub mod incremental;
+pub mod matrix;
 pub mod mpi_only;
 pub mod private_fock;
 pub mod serial;
+pub mod sharded;
 pub mod shared_fock;
 
 use crate::stats::FockBuildStats;
@@ -47,6 +49,10 @@ pub enum FockAlgorithm {
     /// Related-work baseline: Fock distributed over ranks (one-sided
     /// accumulates), never replicated or reduced.
     Distributed { n_ranks: usize },
+    /// Fully sharded: density *and* Fock live in tri-packed DDI windows;
+    /// no rank ever holds a full N x N matrix. `mode` picks the DDI
+    /// transport (data servers vs MPI-3 one-sided).
+    Sharded { n_ranks: usize, mode: phi_dmpi::DdiMode },
 }
 
 impl FockAlgorithm {
@@ -57,6 +63,7 @@ impl FockAlgorithm {
             FockAlgorithm::PrivateFock { .. } => "private Fock",
             FockAlgorithm::SharedFock { .. } => "shared Fock",
             FockAlgorithm::Distributed { .. } => "distributed",
+            FockAlgorithm::Sharded { .. } => "sharded",
         }
     }
 }
@@ -140,7 +147,7 @@ impl<'a> DensitySet<'a> {
     /// Precompute the per-build digestion data (the UHF Coulomb source
     /// `D_total = D_alpha + D_beta`). Called once per build, outside the
     /// quartet loops.
-    pub(crate) fn prepare(&self) -> DensityWork<'a> {
+    pub fn prepare(&self) -> DensityWork<'a> {
         match *self {
             DensitySet::Restricted(d) => DensityWork::Restricted(d),
             DensitySet::Unrestricted { alpha, beta } => {
@@ -151,7 +158,9 @@ impl<'a> DensitySet<'a> {
 }
 
 /// Prepared per-build density data: what the digestion loops actually read.
-pub(crate) enum DensityWork<'a> {
+/// Public because it is the replicated backend of
+/// [`matrix::DensityView`]; constructed via [`DensitySet::prepare`].
+pub enum DensityWork<'a> {
     Restricted(&'a Mat),
     Unrestricted { total: Mat, alpha: &'a Mat, beta: &'a Mat },
 }

@@ -11,7 +11,8 @@
 //! tracker, so the returned report scales linearly with the rank count.
 
 use super::engine::FockContext;
-use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet, TriSink};
+use super::matrix::ReplicatedFock;
+use super::{digest_quartet_dens, kl_bounds, pair_decode, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{FaultPlan, LeaseMode};
@@ -64,7 +65,10 @@ pub fn build_mpi_only(
         // The shell-pair dataset: one read-only copy per MPI process (in a
         // real multi-process run each rank materializes its own).
         rank.charge_bytes(ctx.pairs.bytes());
-        let mut fock = rank.alloc_f64(nch * n * n);
+        // The replicated write side, charged to the tracker like every
+        // other full-matrix allocation.
+        let mut fock = ReplicatedFock::new(nch, n);
+        rank.charge_bytes(fock.bytes());
 
         let mut engine = EriEngine::new();
         let mut eri_buf: Vec<f64> = Vec::new();
@@ -77,8 +81,7 @@ pub fn build_mpi_only(
         // reissued to survivors.
         let mut dead = rank.lease_reset(n_pair, LeaseMode::Volatile).is_err();
         if !dead {
-            let mut sinks: Vec<TriSink<'_>> =
-                fock.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+            let mut sinks = fock.sinks();
             loop {
                 let t = match rank.lease_next() {
                     Ok(Some(t)) => t,
@@ -112,17 +115,18 @@ pub fn build_mpi_only(
         // (Algorithm 1 line 16) — one collective covering every spin
         // channel. Dead ranks have deregistered and must stay out.
         if !dead {
-            dead = rank.try_gsumf(&mut fock).is_err();
+            dead = rank.try_gsumf(fock.as_mut_slice()).is_err();
         }
 
         rank.release_bytes(replicated_readonly_bytes(n));
         rank.release_bytes(ctx.pairs.bytes());
+        rank.release_bytes(fock.bytes());
         // Once per rank per build: totals reconcile exactly with the
         // merged FockBuildStats (no per-quartet events on the hot path).
         phi_trace::counter("quartets_computed", computed);
         phi_trace::counter("quartets_screened", screened);
         phi_trace::counter("flushes", 0);
-        let result = if !dead && rank.is_lowest_live() { Some(fock.to_vec()) } else { None };
+        let result = if !dead && rank.is_lowest_live() { Some(fock) } else { None };
         (
             result,
             FockBuildStats {
@@ -152,10 +156,10 @@ pub fn build_mpi_only(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed.clone();
-    let bufs = g_buf.unwrap_or_else(|| {
+    let fock = g_buf.unwrap_or_else(|| {
         panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
     });
-    GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
+    GBuild::from_channels(fock.into_mats(), stats)
 }
 
 /// Restricted convenience wrapper over [`build_mpi_only`].

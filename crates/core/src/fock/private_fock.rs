@@ -10,7 +10,8 @@
 //! the paper attributes to two-index MPI parallelization.
 
 use super::engine::FockContext;
-use super::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, TriSink};
+use super::matrix::ReplicatedFock;
+use super::{digest_quartet_dens, kl_bounds, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{FaultPlan, LeaseMode};
@@ -78,8 +79,8 @@ pub fn build_private_fock(
             // Thread-private Fock matrices (one per spin channel) — the
             // replication this algorithm still pays for (charged to the
             // rank's footprint).
-            rank.charge_bytes(nch * n * n * std::mem::size_of::<f64>());
-            let mut fock = vec![0.0; nch * n * n];
+            let mut fock = ReplicatedFock::new(nch, n);
+            rank.charge_bytes(fock.bytes());
             let mut engine = EriEngine::new();
             let mut eri_buf: Vec<f64> = Vec::new();
             let mut computed = 0u64;
@@ -87,8 +88,7 @@ pub fn build_private_fock(
             let mut tasks = 0usize;
 
             {
-                let mut sinks: Vec<TriSink<'_>> =
-                    fock.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+                let mut sinks = fock.sinks();
                 let mut prev_task: Option<usize> = None;
                 loop {
                     // Master pulls the next i lease (Algorithm 2 lines
@@ -156,12 +156,11 @@ pub fn build_private_fock(
         phi_trace::counter("flushes", 0);
 
         // OpenMP reduction(+ : Fock): sum the thread-private copies.
-        let mut fock = rank.alloc_f64(nch * n * n);
+        let mut fock = ReplicatedFock::new(nch, n);
+        rank.charge_bytes(fock.bytes());
         let mut stats = FockBuildStats::default();
         for (tf, ts) in &thread_results {
-            for (dst, src) in fock.iter_mut().zip(tf) {
-                *dst += src;
-            }
+            fock.reduce_from(tf);
             stats = FockBuildStats::merge(stats, ts);
         }
         rank.release_bytes(n_threads * nch * n * n * std::mem::size_of::<f64>());
@@ -171,12 +170,13 @@ pub fn build_private_fock(
         // partial sums die here with it and its leases were reissued.
         let mut dead = !rank.alive();
         if !dead {
-            dead = rank.try_gsumf(&mut fock).is_err();
+            dead = rank.try_gsumf(fock.as_mut_slice()).is_err();
         }
         rank.release_bytes(replicated_readonly_bytes(n));
         rank.release_bytes(ctx.pairs.bytes());
+        rank.release_bytes(fock.bytes());
         stats.seconds = start.elapsed().as_secs_f64();
-        let result = if !dead && rank.is_lowest_live() { Some(fock.to_vec()) } else { None };
+        let result = if !dead && rank.is_lowest_live() { Some(fock) } else { None };
         (result, stats)
     });
 
@@ -196,10 +196,10 @@ pub fn build_private_fock(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed.clone();
-    let bufs = g_buf.unwrap_or_else(|| {
+    let fock = g_buf.unwrap_or_else(|| {
         panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
     });
-    GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
+    GBuild::from_channels(fock.into_mats(), stats)
 }
 
 /// Restricted convenience wrapper over [`build_private_fock`].

@@ -3,6 +3,7 @@
 //! builders and the baseline for workload statistics.
 
 use super::engine::FockContext;
+use super::matrix::ReplicatedFock;
 use super::{digest_quartet_dens, kl_bounds, tri_to_full, DensitySet, TriSink};
 // Re-exported here for backward compatibility: `GBuild` predates the
 // unified engine layer and used to live in this module.
@@ -28,15 +29,14 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
     let nch = work.n_channels();
     let n = basis.n_basis();
     let ns = basis.n_shells();
-    let mut bufs = vec![0.0; nch * n * n];
+    let mut fock = ReplicatedFock::new(nch, n);
     let mut engine = EriEngine::new();
     let mut quartets_computed = 0u64;
     let mut quartets_screened = 0u64;
     let mut eri_buf: Vec<f64> = Vec::new();
 
     {
-        let mut sinks: Vec<TriSink<'_>> =
-            bufs.chunks_mut(n * n).map(|buf| TriSink { buf, n }).collect();
+        let mut sinks = fock.sinks();
         for i in 0..ns {
             for j in 0..=i {
                 for k in 0..=i {
@@ -61,7 +61,7 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
     phi_trace::counter("quartets_screened", quartets_screened);
     phi_trace::counter("flushes", 0);
 
-    let mats = bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect();
+    let mats = fock.into_mats();
     GBuild::from_channels(
         mats,
         FockBuildStats {

@@ -22,8 +22,9 @@
 //! costly top loop vanish for sparse systems.
 
 use super::engine::FockContext;
+use super::matrix::ReplicatedFock;
 use super::private_fock::{TASK_DEAD, TASK_DONE};
-use super::{digest_quartet_dens, pair_decode, pair_index, tri_to_full, DensitySet, FockSink};
+use super::{digest_quartet_dens, pair_decode, pair_index, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{FaultPlan, LeaseMode};
@@ -394,7 +395,7 @@ pub fn build_shared_fock_set(
     let bufs = g_buf.unwrap_or_else(|| {
         panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
     });
-    GBuild::from_channels(bufs.chunks(n * n).map(|b| tri_to_full(b, n)).collect(), stats)
+    GBuild::from_channels(ReplicatedFock::from_raw(bufs, nch, n).into_mats(), stats)
 }
 
 #[cfg(test)]

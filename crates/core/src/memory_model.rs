@@ -98,6 +98,24 @@ impl MemoryModel {
         3.5 * self.n2() * self.process_factor() * WORD + self.pair_term()
     }
 
+    /// Fully sharded build (restricted, [`crate::fock::sharded`]) per node,
+    /// bytes: the tri-packed density + Fock window stripes (`N(N+1)/2`
+    /// words each, divided over `total_ranks` world ranks, doubled per
+    /// process by DDI data servers since the servers hold the array
+    /// segments) plus the O(N) row cache and flush buffer each compute
+    /// rank keeps. The `N^2`-per-process term that eqs. (3a)-(3c) all
+    /// share is gone — this is the variant that dodges the memory wall.
+    pub fn bytes_sharded(&self, total_ranks: usize) -> f64 {
+        let n = self.n_basis;
+        let tri = crate::fock::matrix::tri_len(n) as f64;
+        let stripes = 2.0 * (tri / total_ranks.max(1) as f64) * WORD;
+        let cache = crate::fock::matrix::shard_cache_elems(n) as f64 * WORD;
+        let flush = crate::fock::matrix::shard_flush_entries(n) as f64 * 16.0;
+        stripes * self.process_factor()
+            + (cache + flush) * self.mpi_per_node as f64
+            + self.pair_term()
+    }
+
     pub fn gb_mpi_only(&self) -> f64 {
         self.bytes_mpi_only() / 1e9
     }
@@ -108,6 +126,10 @@ impl MemoryModel {
 
     pub fn gb_shared_fock(&self) -> f64 {
         self.bytes_shared_fock() / 1e9
+    }
+
+    pub fn gb_sharded(&self, total_ranks: usize) -> f64 {
+        self.bytes_sharded(total_ranks) / 1e9
     }
 }
 
@@ -216,6 +238,30 @@ mod tests {
         assert!((ratio - 66.0 / 3.0).abs() < 1e-9);
         // Shared Fock is thread-count independent.
         assert_eq!(m1.bytes_shared_fock(), m64.bytes_shared_fock());
+    }
+
+    #[test]
+    fn sharded_model_escapes_the_quadratic_wall() {
+        // At paper scale, every replicated algorithm's per-node footprint
+        // grows as N^2 per process; the sharded stripes grow as N^2 only
+        // in aggregate across the whole machine, so the per-node number
+        // collapses as ranks are added.
+        let n = PaperSystem::Nm20.n_basis_functions();
+        let m = MemoryModel::hybrid(n, 4, 1);
+        let sharded_64 = m.bytes_sharded(64);
+        assert!(
+            sharded_64 < m.bytes_shared_fock() / 10.0,
+            "sharded {} vs shared Fock {}",
+            sharded_64,
+            m.bytes_shared_fock()
+        );
+        // More world ranks -> thinner stripes, monotonically.
+        assert!(m.bytes_sharded(256) < m.bytes_sharded(64));
+        // Data servers double the stripe term but not the rank-local
+        // caches: strictly less than a full doubling.
+        let ds = m.with_ddi(DdiMode::DataServer);
+        assert!(ds.bytes_sharded(64) > sharded_64);
+        assert!(ds.bytes_sharded(64) < 2.0 * sharded_64);
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub struct ScfConfig {
     /// (clamped to >= 1; `1` makes every build full, reproducing the plain
     /// driver bit for bit). Ignored when `incremental` is false.
     pub full_rebuild_every: usize,
+    /// Build each iteration's density by canonical purification
+    /// ([`crate::purification`]) instead of diagonalization. This is the
+    /// partner of [`FockAlgorithm::Sharded`]: the sharded build avoids
+    /// replicating `N x N` Fock/density matrices per rank, and purification
+    /// avoids the replicated `O(N^3)` eigensolve that `solve_roothaan`
+    /// would reintroduce. Orbital energies and MO coefficients are not
+    /// produced (the result keeps the initial-guess values).
+    pub purification: bool,
 }
 
 impl Default for ScfConfig {
@@ -87,6 +95,7 @@ impl Default for ScfConfig {
             resume_from: None,
             incremental: false,
             full_rebuild_every: 8,
+            purification: false,
         }
     }
 }
@@ -292,11 +301,22 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
             f_use.axpy(beta, &shift);
         }
 
-        let (eps, c) = {
-            let _span = phi_trace::span("scf.diag");
-            solve_roothaan(&f_use, &x)
+        let mut d_new = if config.purification {
+            // Diagonalization-free density update: McWeeny/PM purification
+            // keeps the whole iteration free of any replicated O(N^3)
+            // eigensolve (pairs with the sharded Fock build).
+            let _span = phi_trace::span("scf.purify");
+            crate::purification::purify_density(&f_use, &x, n_occ, 200, 1e-12).density
+        } else {
+            let (eps, c) = {
+                let _span = phi_trace::span("scf.diag");
+                solve_roothaan(&f_use, &x)
+            };
+            let d = density_from_orbitals(&c, n_occ);
+            orbital_energies = eps;
+            orbitals = c;
+            d
         };
-        let mut d_new = density_from_orbitals(&c, n_occ);
         if let Some(alpha) = config.damping {
             assert!(
                 (0.0..1.0).contains(&alpha),
@@ -305,8 +325,6 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
             d_new.scale(1.0 - alpha);
             d_new.axpy(alpha, &d);
         }
-        orbital_energies = eps;
-        orbitals = c;
 
         // RMS density change.
         let diff = d_new.sub(&d);
@@ -472,6 +490,7 @@ mod tests {
             FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 3 },
             FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
             FockAlgorithm::Distributed { n_ranks: 2 },
+            FockAlgorithm::Sharded { n_ranks: 2, mode: phi_dmpi::DdiMode::Mpi3OneSided },
         ];
         let energies: Vec<f64> = algorithms
             .iter()
@@ -488,6 +507,35 @@ mod tests {
                 energies[0]
             );
         }
+    }
+
+    #[test]
+    fn sharded_scf_with_purification_matches_serial_diagonalization() {
+        // The full memory-lean pipeline: sharded Fock build (no replicated
+        // N x N matrices) + purification (no replicated eigensolve) must
+        // land on the serial diagonalizing driver's energy.
+        let mol = small::water();
+        let reference = scf(&mol, BasisName::Sto3g, &ScfConfig::default());
+        let lean = scf(
+            &mol,
+            BasisName::Sto3g,
+            &ScfConfig {
+                algorithm: FockAlgorithm::Sharded {
+                    n_ranks: 3,
+                    mode: phi_dmpi::DdiMode::Mpi3OneSided,
+                },
+                purification: true,
+                max_iterations: 200,
+                ..Default::default()
+            },
+        );
+        assert!(lean.converged, "sharded + purification did not converge");
+        assert!(
+            (lean.energy - reference.energy).abs() < 1e-10,
+            "lean {} vs reference {}",
+            lean.energy,
+            reference.energy
+        );
     }
 
     #[test]

@@ -61,6 +61,14 @@ impl FockBuildStats {
         }
     }
 
+    /// Per-rank peak (high-water) tracked bytes: the largest single-rank
+    /// footprint the live tracker saw during this build — the number the
+    /// memory-wall benches assert budget claims against. Zero for builds
+    /// that run no tracked world (the serial reference).
+    pub fn max_rank_peak(&self) -> usize {
+        self.per_rank_peak.iter().copied().max().unwrap_or(0)
+    }
+
     /// Merge the stats of parallel contributors (max time, summed counts).
     /// `dlb_calls` is world-global and therefore *not* merged — builders
     /// set it once from the world counter after merging.
@@ -82,6 +90,13 @@ mod tests {
     #[test]
     fn screened_fraction_handles_empty() {
         assert_eq!(FockBuildStats::default().screened_fraction(), 0.0);
+    }
+
+    #[test]
+    fn max_rank_peak_is_the_high_water_rank() {
+        assert_eq!(FockBuildStats::default().max_rank_peak(), 0);
+        let s = FockBuildStats { per_rank_peak: vec![100, 700, 300], ..Default::default() };
+        assert_eq!(s.max_rank_peak(), 700);
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct UhfConfig {
     /// In incremental mode, perform a full rebuild every this many builds
     /// (clamped to >= 1; `1` makes every build full).
     pub full_rebuild_every: usize,
+    /// Build each spin density by canonical purification instead of
+    /// diagonalization (the partner of [`FockAlgorithm::Sharded`]; see
+    /// [`crate::scf::ScfConfig::purification`]). Orbital energies are not
+    /// produced; `<S^2>` is computed from the densities, which gives the
+    /// same value either way.
+    pub purification: bool,
 }
 
 impl Default for UhfConfig {
@@ -63,6 +69,7 @@ impl Default for UhfConfig {
             faults: None,
             incremental: false,
             full_rebuild_every: 8,
+            purification: false,
         }
     }
 }
@@ -140,8 +147,6 @@ pub fn run_uhf(
     let mut energy = 0.0;
     let mut eps_a = Vec::new();
     let mut eps_b = Vec::new();
-    let mut c_a_final = Mat::zeros(n, n);
-    let mut c_b_final = Mat::zeros(n, n);
     let mut fock_stats = Vec::new();
     let mut incremental =
         config.incremental.then(|| IncrementalFock::new(config.full_rebuild_every));
@@ -181,18 +186,34 @@ pub fn run_uhf(
             break;
         }
 
-        let (ea, ca, eb, cb) = {
-            let _span = phi_trace::span("scf.diag");
-            let (ea, ca) = solve_roothaan(&f_a, &x);
-            let (eb, cb) = solve_roothaan(&f_b, &x);
-            (ea, ca, eb, cb)
+        let (d_a_new, d_b_new) = if config.purification {
+            // Diagonalization-free spin densities. `purify_density` returns
+            // a closed-shell matrix (factor 2); each spin channel is half.
+            let _span = phi_trace::span("scf.purify");
+            let mut da = crate::purification::purify_density(&f_a, &x, n_alpha, 200, 1e-12).density;
+            da.scale(0.5);
+            let db = if n_beta > 0 {
+                let mut db =
+                    crate::purification::purify_density(&f_b, &x, n_beta, 200, 1e-12).density;
+                db.scale(0.5);
+                db
+            } else {
+                Mat::zeros(n, n)
+            };
+            (da, db)
+        } else {
+            let (ea, ca, eb, cb) = {
+                let _span = phi_trace::span("scf.diag");
+                let (ea, ca) = solve_roothaan(&f_a, &x);
+                let (eb, cb) = solve_roothaan(&f_b, &x);
+                (ea, ca, eb, cb)
+            };
+            let da = spin_density(&ca, n_alpha);
+            let db = if n_beta > 0 { spin_density(&cb, n_beta) } else { Mat::zeros(n, n) };
+            eps_a = ea;
+            eps_b = eb;
+            (da, db)
         };
-        let d_a_new = spin_density(&ca, n_alpha);
-        let d_b_new = if n_beta > 0 { spin_density(&cb, n_beta) } else { Mat::zeros(n, n) };
-        eps_a = ea;
-        eps_b = eb;
-        c_a_final = ca;
-        c_b_final = cb;
 
         let rms =
             (d_a_new.sub(&d_a).frobenius_norm() + d_b_new.sub(&d_b).frobenius_norm()) / (n as f64);
@@ -205,15 +226,13 @@ pub fn run_uhf(
         }
     }
 
-    // <S^2> = S(S+1) + N_beta - sum_ij |<a_i|S|b_j>|^2 over occupied pairs.
+    // <S^2> = S(S+1) + N_beta - tr(D_a S D_b S): with D_s the occupied
+    // projector of spin s, the trace equals sum_ij |<a_i|S|b_j>|^2 over
+    // occupied pairs — but needs only densities, so it works identically
+    // for the diagonalizing and the purification-based update.
     let sz = 0.5 * (n_alpha as f64 - n_beta as f64);
     let mut s2 = sz * (sz + 1.0) + n_beta as f64;
-    let s_ab = c_a_final.matmul_tn(&s.matmul(&c_b_final));
-    for i in 0..n_alpha.min(n) {
-        for j in 0..n_beta.min(n) {
-            s2 -= s_ab[(i, j)] * s_ab[(i, j)];
-        }
-    }
+    s2 -= d_a.matmul(&s).matmul(&d_b.matmul(&s)).trace();
 
     UhfResult {
         energy,
@@ -361,6 +380,7 @@ mod tests {
             FockAlgorithm::PrivateFock { n_ranks: 1, n_threads: 2 },
             FockAlgorithm::SharedFock { n_ranks: 2, n_threads: 2 },
             FockAlgorithm::Distributed { n_ranks: 2 },
+            FockAlgorithm::Sharded { n_ranks: 2, mode: phi_dmpi::DdiMode::Mpi3OneSided },
         ] {
             let r = run_uhf(&mol, &b, 1, 1, &UhfConfig { algorithm, ..base.clone() });
             assert!(r.converged, "{} did not converge", algorithm.label());
@@ -373,6 +393,43 @@ mod tests {
             );
         }
         assert!(!want.fock_stats.is_empty(), "UHF surfaces per-iteration Fock stats");
+    }
+
+    #[test]
+    fn sharded_uhf_with_purification_matches_diagonalization() {
+        // Memory-lean open-shell pipeline: sharded spin-Fock builds plus
+        // per-channel purification, including the density-based <S^2>.
+        let mol = small::hydrogen_molecule(5.0);
+        let b = BasisSet::build(&mol, BasisName::Sto3g);
+        let base = UhfConfig { break_symmetry: true, ..Default::default() };
+        let want = run_uhf(&mol, &b, 1, 1, &base);
+        let lean = run_uhf(
+            &mol,
+            &b,
+            1,
+            1,
+            &UhfConfig {
+                algorithm: FockAlgorithm::Sharded {
+                    n_ranks: 2,
+                    mode: phi_dmpi::DdiMode::Mpi3OneSided,
+                },
+                purification: true,
+                ..base
+            },
+        );
+        assert!(want.converged && lean.converged);
+        assert!(
+            (lean.energy - want.energy).abs() < 1e-8,
+            "lean {} vs diagonalizing {}",
+            lean.energy,
+            want.energy
+        );
+        assert!(
+            (lean.s_squared - want.s_squared).abs() < 1e-6,
+            "<S^2> {} vs {}",
+            lean.s_squared,
+            want.s_squared
+        );
     }
 
     #[test]

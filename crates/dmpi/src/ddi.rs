@@ -42,17 +42,32 @@ impl DdiMode {
 ///
 /// In-process, segments are mutex-guarded vectors; each operation also
 /// counts the bytes that would have crossed the network so communication
-/// volume is observable.
+/// volume is observable. The [`DdiMode`] is behavioral, not just a label:
+/// under [`DdiMode::Mpi3OneSided`] an access to the caller's own segment
+/// is a direct load/store (no traffic), while under
+/// [`DdiMode::DataServer`] *every* access — local segment included — is a
+/// request/response pair serviced by the rank's paired data-server
+/// process, so all bytes count as remote and every segment touch counts
+/// one server message. The numerics are identical in both modes.
 pub struct DistributedArray {
     segments: Vec<Arc<Mutex<Vec<f64>>>>,
     seg_len: usize,
     len: usize,
+    mode: DdiMode,
     remote_bytes: Arc<Mutex<u64>>,
+    server_messages: Arc<Mutex<u64>>,
 }
 
 impl DistributedArray {
-    /// Create an array of `len` elements striped over `n_ranks` segments.
+    /// Create an array of `len` elements striped over `n_ranks` segments,
+    /// in the MPI-3 one-sided transport (the paper's benchmark mode).
     pub fn new(len: usize, n_ranks: usize) -> DistributedArray {
+        DistributedArray::new_with_mode(len, n_ranks, DdiMode::Mpi3OneSided)
+    }
+
+    /// Create an array striped over `n_ranks` segments with an explicit
+    /// DDI transport mode.
+    pub fn new_with_mode(len: usize, n_ranks: usize, mode: DdiMode) -> DistributedArray {
         let seg_len = len.div_ceil(n_ranks);
         let segments = (0..n_ranks)
             .map(|r| {
@@ -61,7 +76,19 @@ impl DistributedArray {
                 Arc::new(Mutex::new(vec![0.0; hi - lo]))
             })
             .collect();
-        DistributedArray { segments, seg_len, len, remote_bytes: Arc::new(Mutex::new(0)) }
+        DistributedArray {
+            segments,
+            seg_len,
+            len,
+            mode,
+            remote_bytes: Arc::new(Mutex::new(0)),
+            server_messages: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// The DDI transport this array models.
+    pub fn mode(&self) -> DdiMode {
+        self.mode
     }
 
     pub fn len(&self) -> usize {
@@ -93,8 +120,19 @@ impl DistributedArray {
             let take = (data_len - off).min(self.seg_len - seg_lo);
             let mut guard = self.segments[seg].lock();
             f(off, seg_lo, &mut guard[seg_lo..seg_lo + take]);
-            if seg != caller {
-                *self.remote_bytes.lock() += (take * 8) as u64;
+            match self.mode {
+                // One-sided: only cross-rank access costs traffic.
+                DdiMode::Mpi3OneSided => {
+                    if seg != caller {
+                        *self.remote_bytes.lock() += (take * 8) as u64;
+                    }
+                }
+                // Data servers: every access is a message to the segment
+                // owner's server process, local segments included.
+                DdiMode::DataServer => {
+                    *self.remote_bytes.lock() += (take * 8) as u64;
+                    *self.server_messages.lock() += 1;
+                }
             }
             pos += take;
             off += take;
@@ -129,6 +167,12 @@ impl DistributedArray {
     /// Bytes that crossed rank boundaries so far.
     pub fn remote_traffic_bytes(&self) -> u64 {
         *self.remote_bytes.lock()
+    }
+
+    /// Request/response messages serviced by data-server processes.
+    /// Always zero in [`DdiMode::Mpi3OneSided`].
+    pub fn server_messages(&self) -> u64 {
+        *self.server_messages.lock()
     }
 }
 
@@ -170,6 +214,38 @@ mod tests {
         assert_eq!(a.remote_traffic_bytes(), 0);
         a.put(0, 25, &[1.0; 25]); // entirely on rank 1
         assert_eq!(a.remote_traffic_bytes(), 200);
+    }
+
+    #[test]
+    fn data_server_mode_charges_local_access_and_counts_messages() {
+        let a = DistributedArray::new_with_mode(100, 4, DdiMode::DataServer); // seg_len 25
+        a.put(0, 0, &[1.0; 25]); // local segment — still a server round-trip
+        assert_eq!(a.remote_traffic_bytes(), 200);
+        assert_eq!(a.server_messages(), 1);
+        a.acc(0, 20, &[1.0; 10]); // spans segments 0 and 1: two messages
+        assert_eq!(a.remote_traffic_bytes(), 280);
+        assert_eq!(a.server_messages(), 3);
+    }
+
+    #[test]
+    fn one_sided_mode_has_no_server_messages() {
+        let a = DistributedArray::new(100, 4);
+        assert_eq!(a.mode(), DdiMode::Mpi3OneSided);
+        a.put(0, 0, &[1.0; 50]);
+        a.get(1, 0, &mut [0.0; 50]);
+        assert_eq!(a.server_messages(), 0);
+    }
+
+    #[test]
+    fn modes_produce_identical_numerics() {
+        for mode in [DdiMode::DataServer, DdiMode::Mpi3OneSided] {
+            let a = DistributedArray::new_with_mode(10, 3, mode);
+            a.put(0, 2, &[1.0, 2.0, 3.0]);
+            a.acc(1, 3, &[0.5, 0.5]);
+            let mut out = vec![0.0; 4];
+            a.get(2, 2, &mut out);
+            assert_eq!(out, vec![1.0, 2.5, 3.5, 0.0], "{}", mode.label());
+        }
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum SimAlgorithm {
     MpiOnly,
     PrivateFock,
     SharedFock,
+    /// The non-replicated build (`hf`'s `fock::sharded`): density and
+    /// Fock live as tri-packed stripes in distributed windows, ranks hold
+    /// only O(N) caches, every get/accumulate is one-sided traffic.
+    Sharded,
 }
 
 impl SimAlgorithm {
@@ -45,6 +49,7 @@ impl SimAlgorithm {
             SimAlgorithm::MpiOnly => "MPI-only",
             SimAlgorithm::PrivateFock => "private Fock",
             SimAlgorithm::SharedFock => "shared Fock",
+            SimAlgorithm::Sharded => "sharded",
         }
     }
 
@@ -55,15 +60,23 @@ impl SimAlgorithm {
             SimAlgorithm::MpiOnly => 0.0,
             SimAlgorithm::PrivateFock => 0.35,
             SimAlgorithm::SharedFock => 1.0,
+            // One-sided window traffic bypasses the coherence fabric the
+            // same way two-sided MPI does.
+            SimAlgorithm::Sharded => 0.0,
         }
     }
 
-    /// Matrix words per rank (the eqs. 3a-3c prefactor).
-    fn matrix_words_per_rank(self, threads: usize) -> f64 {
+    /// Matrix words per rank as a multiple of N^2 (the eqs. 3a-3c
+    /// prefactor). `total_ranks` only matters for the sharded build, whose
+    /// two tri-packed window stripes hold `2 * N(N+1)/2 / R ~ N^2 / R`
+    /// words per rank; its O(N) row cache and flush buffer vanish next to
+    /// that at simulated scales.
+    fn matrix_words_per_rank(self, threads: usize, total_ranks: usize) -> f64 {
         match self {
             SimAlgorithm::MpiOnly => 2.5,
             SimAlgorithm::PrivateFock => 2.0 + threads as f64,
             SimAlgorithm::SharedFock => 3.5,
+            SimAlgorithm::Sharded => 1.0 / total_ranks.max(1) as f64,
         }
     }
 }
@@ -201,9 +214,16 @@ impl Ord for Time {
 }
 
 /// Per-node footprint in GB for an algorithm/configuration (capacity).
-fn footprint_gb(alg: SimAlgorithm, n_basis: usize, ranks: usize, threads: usize) -> f64 {
+fn footprint_gb(
+    alg: SimAlgorithm,
+    n_basis: usize,
+    ranks: usize,
+    threads: usize,
+    nodes: usize,
+) -> f64 {
     let n2 = (n_basis * n_basis) as f64;
-    let matrices = alg.matrix_words_per_rank(threads) * n2 * 8.0 / 1e9;
+    let total_ranks = (ranks * nodes.max(1)).max(1);
+    let matrices = alg.matrix_words_per_rank(threads, total_ranks) * n2 * 8.0 / 1e9;
     ranks as f64 * (BASE_PROCESS_GB + matrices)
 }
 
@@ -214,12 +234,19 @@ fn footprint_gb(alg: SimAlgorithm, n_basis: usize, ranks: usize, threads: usize)
 /// per-process images *are* hot (256 replicated processes thrash the cache
 /// with code + static data too — the paper's §6.1 "cache capacity and cache
 /// line conflict effects").
-fn hot_ws_gb(alg: SimAlgorithm, n_basis: usize, ranks: usize, threads: usize) -> f64 {
+fn hot_ws_gb(alg: SimAlgorithm, n_basis: usize, ranks: usize, threads: usize, nodes: usize) -> f64 {
     let n2gb = (n_basis * n_basis) as f64 * 8.0 / 1e9;
     match alg {
         SimAlgorithm::MpiOnly => ranks as f64 * (BASE_PROCESS_GB + 2.5 * n2gb),
         SimAlgorithm::PrivateFock => ranks as f64 * (2.0 + 0.1 * threads as f64) * n2gb,
         SimAlgorithm::SharedFock => ranks as f64 * 3.5 * n2gb,
+        // Like MPI-only it runs one process per rank (so the replicated
+        // images stay hot), but of the matrices only the node's window
+        // stripes plus O(N) caches are resident; the rest is remote.
+        SimAlgorithm::Sharded => {
+            let total_ranks = (ranks * nodes.max(1)).max(1) as f64;
+            ranks as f64 * (BASE_PROCESS_GB + n2gb / total_ranks)
+        }
     }
 }
 
@@ -236,12 +263,12 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
         // and the chosen memory mode (paper §6.1: "the larger memory
         // requirements of the original MPI-only code restrict...").
         let fits = |ranks: usize| {
-            footprint_gb(cfg.algorithm, workload.n_basis, ranks, threads) <= mem_limit
+            footprint_gb(cfg.algorithm, workload.n_basis, ranks, threads, cfg.nodes) <= mem_limit
                 && cfg
                     .memory_mode
                     .effective_bandwidth(
                         node,
-                        hot_ws_gb(cfg.algorithm, workload.n_basis, ranks, threads),
+                        hot_ws_gb(cfg.algorithm, workload.n_basis, ranks, threads, cfg.nodes),
                     )
                     .is_some()
         };
@@ -249,13 +276,13 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
             ranks_per_node /= 2;
         }
     }
-    let fp = footprint_gb(cfg.algorithm, workload.n_basis, ranks_per_node, threads);
+    let fp = footprint_gb(cfg.algorithm, workload.n_basis, ranks_per_node, threads, cfg.nodes);
     if fp > mem_limit {
         return SimResult::infeasible(format!(
             "footprint {fp:.0} GB exceeds node memory {mem_limit:.0} GB"
         ));
     }
-    let hot = hot_ws_gb(cfg.algorithm, workload.n_basis, ranks_per_node, threads);
+    let hot = hot_ws_gb(cfg.algorithm, workload.n_basis, ranks_per_node, threads, cfg.nodes);
     let Some(bw) = cfg.memory_mode.effective_bandwidth(node, hot) else {
         return SimResult::infeasible(format!(
             "{} cannot hold a {hot:.0} GB working set",
@@ -339,6 +366,9 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
         SimAlgorithm::MpiOnly => 0.0,
         SimAlgorithm::PrivateFock => 2.0 * barrier,
         SimAlgorithm::SharedFock => 2.0 * barrier + fj_flush,
+        // One window get (density rows) and one accumulate flush per task,
+        // each a one-sided round trip priced like a DLB pull.
+        SimAlgorithm::Sharded => 2.0 * dlb_latency,
     };
 
     // --- The event loop ---------------------------------------------------
@@ -432,11 +462,16 @@ pub fn simulate(workload: &Workload, cost: &CostModel, cfg: &SimConfig) -> SimRe
     makespan = (makespan + empty_time_per_rank).max(counter_floor);
 
     // --- Reduction and assembly -------------------------------------------
-    let reduction = cfg.network.allreduce_s(
-        (workload.n_basis * workload.n_basis * 8) as f64,
-        total_ranks,
-        cfg.nodes,
-    );
+    // The replicated builds allreduce a full N^2 Fock; the sharded build
+    // only gathers each rank's stripe (1/R of the matrix) for the driver.
+    let reduction_bytes = {
+        let full = (workload.n_basis * workload.n_basis * 8) as f64;
+        match cfg.algorithm {
+            SimAlgorithm::Sharded => full / total_ranks.max(1) as f64,
+            _ => full,
+        }
+    };
+    let reduction = cfg.network.allreduce_s(reduction_bytes, total_ranks, cfg.nodes);
     let busy_total: f64 = busy.iter().sum();
     let fock = makespan * cost.time_scale;
     let red = reduction * cost.time_scale;
@@ -513,7 +548,12 @@ mod tests {
     #[test]
     fn busy_fraction_is_a_fraction() {
         let (w, cm) = toy_workload();
-        for alg in [SimAlgorithm::MpiOnly, SimAlgorithm::PrivateFock, SimAlgorithm::SharedFock] {
+        for alg in [
+            SimAlgorithm::MpiOnly,
+            SimAlgorithm::PrivateFock,
+            SimAlgorithm::SharedFock,
+            SimAlgorithm::Sharded,
+        ] {
             let r = simulate(&w, &cm, &SimConfig::hybrid(alg, 2));
             assert!(r.feasible);
             assert!(
@@ -570,6 +610,44 @@ mod tests {
         };
         let r = simulate(&w, &cm, &cfg);
         assert!(!r.feasible);
+    }
+
+    #[test]
+    fn sharded_stays_feasible_past_the_replicated_memory_wall() {
+        // A basis that makes every replicated footprint blow past node
+        // memory leaves the sharded build standing: its stripes thin with
+        // the world size instead of replicating per process.
+        let (mut w, cm) = toy_workload();
+        w.n_basis = 120_000;
+        let nodes = 16;
+        let rep = simulate(&w, &cm, &SimConfig::hybrid(SimAlgorithm::SharedFock, nodes));
+        let sh = simulate(&w, &cm, &SimConfig::hybrid(SimAlgorithm::Sharded, nodes));
+        assert!(!rep.feasible, "shared Fock should hit the wall");
+        assert!(sh.feasible, "{:?}", sh.infeasible_reason);
+        // And the per-node footprint keeps shrinking as nodes are added.
+        let sh2 = simulate(&w, &cm, &SimConfig::hybrid(SimAlgorithm::Sharded, 4 * nodes));
+        assert!(sh2.feasible && sh2.footprint_gb < sh.footprint_gb);
+    }
+
+    #[test]
+    fn sharded_pays_window_latency_per_task() {
+        // On one node with identical shapes, the sharded build can never
+        // beat MPI-only: it runs the same ij-task list plus a one-sided
+        // round trip per task.
+        let (w, cm) = toy_workload();
+        let cfg = |alg| SimConfig {
+            ranks_per_node: 8,
+            threads_per_rank: 1,
+            algorithm: alg,
+            ..SimConfig::hybrid(alg, 1)
+        };
+        let mpi = simulate(&w, &cm, &cfg(SimAlgorithm::MpiOnly));
+        let sh = simulate(&w, &cm, &cfg(SimAlgorithm::Sharded));
+        assert!(mpi.feasible && sh.feasible);
+        assert!(sh.fock_seconds >= mpi.fock_seconds, "{} vs {}", sh.fock_seconds, mpi.fock_seconds);
+        // But its end-of-build gather moves 1/R of the replicated
+        // allreduce, so the reduction is cheaper.
+        assert!(sh.reduction_seconds < mpi.reduction_seconds);
     }
 
     #[test]

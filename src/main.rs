@@ -12,8 +12,8 @@
 use phi_scf::chem::basis::{BasisName, BasisSet};
 use phi_scf::chem::geom::{graphene, small};
 use phi_scf::chem::Molecule;
-use phi_scf::dmpi::FaultPlan;
-use phi_scf::hf::{mp2_energy, run_scf, run_uhf, FockAlgorithm, ScfConfig, UhfConfig};
+use phi_scf::dmpi::{DdiMode, FaultPlan};
+use phi_scf::hf::{mp2_energy, run_scf, run_uhf, FockAlgorithm, MemoryModel, ScfConfig, UhfConfig};
 
 const HELP: &str = "\
 phi-scf — Hartree-Fock with the SC'17 hybrid MPI/OpenMP Fock builders
@@ -29,13 +29,29 @@ OPTIONS:
                          (charge via charge=<int> on the comment line)
     --basis <NAME>       sto3g | 631g | 631gd | 631gdp [default: 631g]
     --algorithm <SPEC>   serial | mpi:<ranks> | private:<R>x<T> |
-                         shared:<R>x<T> | distributed:<ranks>
+                         shared:<R>x<T> | distributed:<ranks> |
+                         sharded:<ranks>[:os|:ds]
                          (applies to RHF and UHF)      [default: shared:2x2]
+                         sharded keeps density and Fock in tri-packed
+                         distributed windows — no rank ever holds a full
+                         N x N matrix; :os = MPI-3 one-sided (default),
+                         :ds = classic DDI data servers
     --tau <FLOAT>        Schwarz screening threshold   [default: 1e-10]
     --max-iter <N>       SCF iteration cap             [default: 100]
     --uhf <NA>,<NB>      run UHF with NA alpha / NB beta electrons
     --mp2                add the MP2 correlation energy after RHF
     --no-diis            disable DIIS acceleration
+    --purify             build each iteration's density by canonical
+                         purification instead of diagonalization (no
+                         replicated O(N^3) eigensolve; pairs with
+                         --algorithm sharded; RHF and UHF). Orbital
+                         output (and so --mp2) is unavailable
+    --memory-budget <MiB>
+                         print the per-rank memory-model estimate for every
+                         algorithm at the requested rank/thread shape and
+                         refuse to run an algorithm whose estimate exceeds
+                         the budget (the error names the sharded
+                         alternative that fits)
     --incremental        incremental (ΔD) Fock builds: each iteration
                          builds G(ΔD) under density-weighted screening and
                          accumulates G_n = G_ref + G(ΔD); surviving-quartet
@@ -133,8 +149,96 @@ fn parse_algorithm(spec: &str) -> Result<FockAlgorithm, String> {
         "distributed" => Ok(FockAlgorithm::Distributed {
             n_ranks: cfg.parse().map_err(|_| format!("bad rank count '{cfg}'"))?,
         }),
+        "sharded" => {
+            let (ranks, mode) = match cfg.split_once(':') {
+                Some((r, "os")) => (r, DdiMode::Mpi3OneSided),
+                Some((r, "ds")) => (r, DdiMode::DataServer),
+                Some((_, m)) => return Err(format!("unknown DDI mode '{m}' (os or ds)")),
+                None => (cfg, DdiMode::Mpi3OneSided),
+            };
+            Ok(FockAlgorithm::Sharded {
+                n_ranks: ranks.parse().map_err(|_| format!("bad rank count '{ranks}'"))?,
+                mode,
+            })
+        }
         other => Err(format!("unknown algorithm '{other}'")),
     }
+}
+
+/// Per-rank memory-model estimate (bytes) for one algorithm, with the
+/// shell-pair dataset included. `Serial` and `Distributed` replicate the
+/// same density + full accumulation matrices as MPI-only, so they share
+/// eq. (3a); the sharded build is the only sub-quadratic row.
+fn per_rank_estimate(alg: FockAlgorithm, n_basis: usize, pair_bytes: usize) -> f64 {
+    let model =
+        |threads: usize| MemoryModel::hybrid(n_basis, 1, threads).with_shell_pairs(pair_bytes);
+    match alg {
+        FockAlgorithm::Serial => model(1).bytes_mpi_only(),
+        FockAlgorithm::MpiOnly { .. } => model(1).bytes_mpi_only(),
+        FockAlgorithm::PrivateFock { n_threads, .. } => model(n_threads).bytes_private_fock(),
+        FockAlgorithm::SharedFock { n_threads, .. } => model(n_threads).bytes_shared_fock(),
+        FockAlgorithm::Distributed { .. } => model(1).bytes_mpi_only(),
+        FockAlgorithm::Sharded { n_ranks, mode } => model(1).with_ddi(mode).bytes_sharded(n_ranks),
+    }
+}
+
+/// Apply `--memory-budget`: print the model table and refuse an
+/// over-budget algorithm, pointing at the sharded configuration that fits.
+fn check_memory_budget(
+    budget_mib: f64,
+    alg: FockAlgorithm,
+    n_basis: usize,
+    pair_bytes: usize,
+) -> Result<(), String> {
+    let mib = |bytes: f64| bytes / (1024.0 * 1024.0);
+    let (ranks, threads) = match alg {
+        FockAlgorithm::Serial => (1, 1),
+        FockAlgorithm::MpiOnly { n_ranks } | FockAlgorithm::Distributed { n_ranks } => (n_ranks, 1),
+        FockAlgorithm::PrivateFock { n_ranks, n_threads }
+        | FockAlgorithm::SharedFock { n_ranks, n_threads } => (n_ranks, n_threads),
+        FockAlgorithm::Sharded { n_ranks, .. } => (n_ranks, 1),
+    };
+    let sharded = FockAlgorithm::Sharded { n_ranks: ranks, mode: DdiMode::Mpi3OneSided };
+    println!("memory model (per rank, N = {n_basis}, budget {budget_mib:.1} MiB):");
+    for candidate in [
+        FockAlgorithm::MpiOnly { n_ranks: ranks },
+        FockAlgorithm::PrivateFock { n_ranks: ranks, n_threads: threads },
+        FockAlgorithm::SharedFock { n_ranks: ranks, n_threads: threads },
+        FockAlgorithm::Distributed { n_ranks: ranks },
+        sharded,
+    ] {
+        let est = mib(per_rank_estimate(candidate, n_basis, pair_bytes));
+        let verdict = if est <= budget_mib { "fits" } else { "OVER BUDGET" };
+        println!("  {:<12} {est:>10.2} MiB  {verdict}", candidate.label());
+    }
+    let est = mib(per_rank_estimate(alg, n_basis, pair_bytes));
+    if est > budget_mib {
+        // Stripes thin as ranks are added; the O(N) caches and the
+        // shell-pair dataset do not, so a fitting rank count may not exist.
+        let fitting = (0..).map(|i| ranks.max(1) << i).take(13).find(|&r| {
+            let s = FockAlgorithm::Sharded { n_ranks: r, mode: DdiMode::Mpi3OneSided };
+            mib(per_rank_estimate(s, n_basis, pair_bytes)) <= budget_mib
+        });
+        let hint = match fitting {
+            Some(r) => {
+                let s = FockAlgorithm::Sharded { n_ranks: r, mode: DdiMode::Mpi3OneSided };
+                let sharded_est = mib(per_rank_estimate(s, n_basis, pair_bytes));
+                format!(
+                    "the sharded build fits in ~{sharded_est:.2} MiB — \
+                     try --algorithm sharded:{r}"
+                )
+            }
+            None => "even the sharded build cannot fit (its per-rank floor is the \
+                     O(N) caches plus the shell-pair dataset); raise the budget"
+                .to_string(),
+        };
+        return Err(format!(
+            "algorithm '{}' needs ~{est:.2} MiB per rank, over the {budget_mib:.1} MiB \
+             budget; {hint}",
+            alg.label()
+        ));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -151,6 +255,8 @@ fn run() -> Result<(), String> {
     let mut trace_path: Option<String> = None;
     let mut incremental = false;
     let mut full_rebuild_every = 8usize;
+    let mut purify = false;
+    let mut memory_budget: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -183,6 +289,16 @@ fn run() -> Result<(), String> {
                     return Err("--full-rebuild-every needs K >= 1".into());
                 }
             }
+            "--purify" => purify = true,
+            "--memory-budget" => {
+                let mib: f64 = value("memory-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad memory-budget: {e}"))?;
+                if !mib.is_finite() || mib <= 0.0 {
+                    return Err("--memory-budget needs MiB > 0".into());
+                }
+                memory_budget = Some(mib);
+            }
             "--faults" => faults = Some(FaultPlan::parse(&value("faults")?)?),
             "--trace" => trace_path = Some(value("trace")?),
             "--help" | "-h" => {
@@ -213,6 +329,15 @@ fn run() -> Result<(), String> {
     );
 
     let alg = parse_algorithm(&algorithm)?;
+    if mp2 && purify {
+        return Err("--mp2 needs MO coefficients and orbital energies; \
+                    --purify produces neither (drop one of the two flags)"
+            .into());
+    }
+    if let Some(mib) = memory_budget {
+        let pair_bytes = phi_scf::integrals::ShellPairs::build(&b).bytes();
+        check_memory_budget(mib, alg, b.n_basis(), pair_bytes)?;
+    }
     let trace_session = trace_path.as_deref().map(|_| {
         if !phi_scf::trace::enabled() {
             eprintln!(
@@ -230,6 +355,7 @@ fn run() -> Result<(), String> {
             faults: faults.clone(),
             incremental,
             full_rebuild_every,
+            purification: purify,
             ..Default::default()
         };
         let r = run_uhf(&mol, &b, na, nb, &config);
@@ -264,6 +390,7 @@ fn run() -> Result<(), String> {
         faults: faults.clone(),
         incremental,
         full_rebuild_every,
+        purification: purify,
         ..Default::default()
     };
     let r = run_scf(&mol, &b, &config);
@@ -278,11 +405,14 @@ fn run() -> Result<(), String> {
         r.converged
     );
     print_fault_summary(&r.fock_stats);
+    let rank_peak = r.fock_stats.iter().map(|s| s.max_rank_peak()).max().unwrap_or(0);
     println!(
-        "time to form Fock: {:.3} s over {} builds; peak tracked memory {} bytes",
+        "time to form Fock: {:.3} s over {} builds; peak tracked memory {} bytes \
+         ({} bytes on the busiest rank)",
         r.time_to_form_fock(),
         r.fock_stats.len(),
-        r.peak_memory()
+        r.peak_memory(),
+        rank_peak
     );
     if let Some(s) = r.fock_stats.first() {
         println!(
