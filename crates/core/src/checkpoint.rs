@@ -11,24 +11,64 @@
 //! # Format
 //!
 //! A flat little-endian binary layout, all `f64` round-tripped through
-//! [`f64::to_bits`]/[`f64::from_bits`] so resume is bit-exact:
+//! [`f64::to_bits`]/[`f64::from_bits`] so resume is bit-exact. Every
+//! section carries a trailing CRC-32 (IEEE) of its own bytes, so a
+//! flipped bit or short write is *diagnosed by name* instead of being
+//! silently loaded as garbage density:
 //!
 //! ```text
 //! magic   8 bytes  "PHISCF1\0"
-//! iter    u64      iterations completed when the checkpoint was taken
-//! n       u64      basis dimension (density is n x n)
-//! n_hist  u64      energy-history length
-//! n_diis  u64      DIIS history length (pairs)
-//! density n*n f64
-//! history n_hist f64
-//! diis    n_diis x (2 * n*n f64)   Fock then error, oldest first
+//! header  4 u64    iter, n (basis dim), n_hist, n_diis   + crc32 u32
+//! density n*n f64                                        + crc32 u32
+//! history n_hist f64                                     + crc32 u32
+//! diis    n_diis x (2 * n*n f64)  Fock then error,       + crc32 u32
+//!                                 oldest first
 //! ```
+//!
+//! # Durability
+//!
+//! [`ScfCheckpoint::save`] writes to a `<path>.tmp` sibling, fsyncs,
+//! then renames over `path` — a crash mid-write leaves the previous
+//! checkpoint intact, never a truncated hybrid.
+//! [`ScfCheckpoint::save_rotating`] additionally keeps the last K good
+//! files as `<path>.1` (newest) … `<path>.K`, and
+//! [`ScfCheckpoint::load_with_fallback`] walks that chain on a corrupt
+//! or missing primary so one bad file costs one checkpoint interval,
+//! not the whole run.
 
 use phi_linalg::Mat;
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"PHISCF1\0";
+
+/// How many previous-good checkpoint generations
+/// [`ScfCheckpoint::save_rotating`] keeps by default.
+pub const CHECKPOINT_KEEP: usize = 2;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the ubiquitous
+/// zlib/ethernet variant, hand-rolled bitwise since checkpoints are
+/// small and the std library offers no checksum.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// `<path>.<suffix>` with the suffix appended to the full file name
+/// (`foo.ckpt` → `foo.ckpt.1`), keeping rotated generations sorted next
+/// to their primary.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{suffix}"));
+    PathBuf::from(os)
+}
 
 /// One SCF iteration's restartable state.
 #[derive(Clone, Debug, PartialEq)]
@@ -80,6 +120,29 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
+    /// Verify the CRC-32 trailer of the section spanning
+    /// `start..self.pos`, consuming the stored 4-byte checksum.
+    fn check_crc(&mut self, name: &'static str, start: usize) -> io::Result<()> {
+        let computed = crc32(&self.buf[start..self.pos]);
+        let b = self.take(4).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated SCF checkpoint: section '{name}' is missing its CRC trailer"),
+            )
+        })?;
+        let stored = u32::from_le_bytes(b.try_into().expect("4-byte slice"));
+        if stored != computed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "SCF checkpoint section '{name}' failed its CRC \
+                     (stored {stored:#010x}, computed {computed:#010x}): file is corrupt"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     fn f64s(&mut self, count: usize) -> io::Result<Vec<f64>> {
         let b = self.take(count * 8)?;
         Ok(b.chunks_exact(8)
@@ -93,29 +156,66 @@ impl<'a> Reader<'a> {
 }
 
 impl ScfCheckpoint {
-    /// Serialize to the flat binary layout.
+    /// Serialize to the flat binary layout, each section followed by
+    /// its CRC-32.
     pub fn to_bytes(&self) -> Vec<u8> {
         let n = self.density.rows();
         let mut out = Vec::with_capacity(
             MAGIC.len()
                 + 4 * 8
-                + 8 * (n * n + self.energy_history.len() + 2 * n * n * self.diis.len()),
+                + 8 * (n * n + self.energy_history.len() + 2 * n * n * self.diis.len())
+                + 4 * 4,
         );
+        let seal = |out: &mut Vec<u8>, start: usize| {
+            let crc = crc32(&out[start..]);
+            out.extend_from_slice(&crc.to_le_bytes());
+        };
         out.extend_from_slice(MAGIC);
+
+        let start = out.len();
         put_u64(&mut out, self.iteration as u64);
         put_u64(&mut out, n as u64);
         put_u64(&mut out, self.energy_history.len() as u64);
         put_u64(&mut out, self.diis.len() as u64);
+        seal(&mut out, start);
+
+        let start = out.len();
         put_f64s(&mut out, self.density.as_slice());
+        seal(&mut out, start);
+
+        let start = out.len();
         put_f64s(&mut out, &self.energy_history);
+        seal(&mut out, start);
+
+        let start = out.len();
         for (f, e) in &self.diis {
             put_f64s(&mut out, f.as_slice());
             put_f64s(&mut out, e.as_slice());
         }
+        seal(&mut out, start);
         out
     }
 
-    /// Parse the flat binary layout, validating magic and lengths.
+    /// Byte offset where each named section of the serialized layout
+    /// begins, ending with `("end", total_len)`. Used by the
+    /// corruption-sweep tests to damage every boundary of a real file.
+    pub fn section_offsets(&self) -> Vec<(&'static str, usize)> {
+        let n = self.density.rows();
+        let mut off = MAGIC.len();
+        let mut v = vec![("magic", 0), ("header", off)];
+        off += 4 * 8 + 4;
+        v.push(("density", off));
+        off += n * n * 8 + 4;
+        v.push(("history", off));
+        off += self.energy_history.len() * 8 + 4;
+        v.push(("diis", off));
+        off += self.diis.len() * 2 * n * n * 8 + 4;
+        v.push(("end", off));
+        v
+    }
+
+    /// Parse the flat binary layout, validating magic, per-section
+    /// CRCs, and lengths.
     pub fn from_bytes(bytes: &[u8]) -> io::Result<ScfCheckpoint> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let magic = r.take(MAGIC.len())?;
@@ -125,18 +225,29 @@ impl ScfCheckpoint {
                 format!("not an SCF checkpoint: bad magic {magic:?}"),
             ));
         }
+        let start = r.pos;
         let iteration = r.u64()? as usize;
         let n = r.u64()? as usize;
         let n_hist = r.u64()? as usize;
         let n_diis = r.u64()? as usize;
+        r.check_crc("header", start)?;
+
+        let start = r.pos;
         let density = r.mat(n)?;
+        r.check_crc("density", start)?;
+
+        let start = r.pos;
         let energy_history = r.f64s(n_hist)?;
+        r.check_crc("history", start)?;
+
+        let start = r.pos;
         let mut diis = Vec::with_capacity(n_diis);
         for _ in 0..n_diis {
             let f = r.mat(n)?;
             let e = r.mat(n)?;
             diis.push((f, e));
         }
+        r.check_crc("diis", start)?;
         if r.pos != bytes.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -146,12 +257,37 @@ impl ScfCheckpoint {
         Ok(ScfCheckpoint { iteration, density, energy_history, diis })
     }
 
-    /// Write the checkpoint to `path` (atomically enough for tests: a
-    /// single `write` of the full buffer).
+    /// Write the checkpoint to `path` atomically: the bytes go to a
+    /// `<path>.tmp` sibling (same directory, so the rename cannot cross
+    /// filesystems), are fsynced, and the tmp file is renamed over
+    /// `path`. A crash at any point leaves either the old file or the
+    /// new one — never a truncated hybrid.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&self.to_bytes())?;
-        f.sync_all()
+        let tmp = sibling(path, "tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Atomic save with last-K rotation: the current `path` (if any)
+    /// becomes `<path>.1`, `<path>.1` becomes `<path>.2`, … up to
+    /// `keep` generations, then the new checkpoint is written to
+    /// `path`. Pair with [`load_with_fallback`](Self::load_with_fallback)
+    /// so a checkpoint corrupted on disk costs one interval of
+    /// progress, not the run.
+    pub fn save_rotating(&self, path: &Path, keep: usize) -> io::Result<()> {
+        for i in (1..keep).rev() {
+            // A missing generation is fine — rotation is best-effort.
+            let _ =
+                std::fs::rename(sibling(path, &i.to_string()), sibling(path, &(i + 1).to_string()));
+        }
+        if keep > 0 {
+            let _ = std::fs::rename(path, sibling(path, "1"));
+        }
+        self.save(path)
     }
 
     /// Read a checkpoint back from `path`.
@@ -159,6 +295,27 @@ impl ScfCheckpoint {
         let mut bytes = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Load `path`, falling back through the rotated generations
+    /// `<path>.1` … `<path>.keep` when the primary is missing,
+    /// truncated, or fails a CRC. Returns the checkpoint together with
+    /// the path that actually supplied it; if every candidate fails,
+    /// the error names each one with its individual failure.
+    pub fn load_with_fallback(path: &Path, keep: usize) -> io::Result<(ScfCheckpoint, PathBuf)> {
+        let candidates = std::iter::once(path.to_path_buf())
+            .chain((1..=keep).map(|i| sibling(path, &i.to_string())));
+        let mut attempts = Vec::new();
+        for candidate in candidates {
+            match Self::load(&candidate) {
+                Ok(ck) => return Ok((ck, candidate)),
+                Err(e) => attempts.push(format!("{}: {e}", candidate.display())),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("no loadable SCF checkpoint; tried [{}]", attempts.join("; ")),
+        ))
     }
 }
 
@@ -216,6 +373,79 @@ mod tests {
         let mut bytes = ck.to_bytes();
         bytes.push(0);
         assert!(ScfCheckpoint::from_bytes(&bytes).is_err(), "trailing bytes must be rejected");
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical zlib/IEEE check value: crc32(b"123456789).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn a_flipped_bit_in_each_section_is_caught_and_named() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let offsets = ck.section_offsets();
+        // Flip one bit inside every data section (not "magic"/"end")
+        // and check the parse error names that very section.
+        for w in offsets.windows(2) {
+            let (name, start) = w[0];
+            if name == "magic" {
+                continue;
+            }
+            let mut bad = bytes.clone();
+            bad[start + 3] ^= 0x10;
+            let err = ScfCheckpoint::from_bytes(&bad).expect_err("corruption must be caught");
+            assert!(
+                err.to_string().contains(name),
+                "error for a bit flip in '{name}' names the section: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_rotates_and_load_falls_back_to_previous_good() {
+        let dir = std::env::temp_dir().join(format!(
+            "phiscf_ckpt_rotate_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.ckpt");
+
+        let mut gen1 = sample();
+        gen1.iteration = 1;
+        let mut gen2 = sample();
+        gen2.iteration = 2;
+        gen1.save_rotating(&path, CHECKPOINT_KEEP).expect("save gen1");
+        gen2.save_rotating(&path, CHECKPOINT_KEEP).expect("save gen2");
+
+        // Primary holds gen2, .1 holds gen1, no stray .tmp left behind.
+        assert!(!sibling(&path, "tmp").exists(), "tmp file must be renamed away");
+        let (ck, from) = ScfCheckpoint::load_with_fallback(&path, CHECKPOINT_KEEP).expect("load");
+        assert_eq!((ck.iteration, from.clone()), (2, path.clone()));
+
+        // Corrupt the primary: fallback must supply gen1 from `.1`.
+        let mut bytes = std::fs::read(&path).expect("read primary");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite corrupted");
+        let (ck, from) = ScfCheckpoint::load_with_fallback(&path, CHECKPOINT_KEEP)
+            .expect("fallback to previous good");
+        assert_eq!((ck.iteration, from), (1, sibling(&path, "1")));
+
+        // Destroy every generation: the error names each candidate.
+        std::fs::write(&path, b"garbage").expect("wreck primary");
+        std::fs::write(sibling(&path, "1"), b"garbage").expect("wreck .1");
+        let err = ScfCheckpoint::load_with_fallback(&path, CHECKPOINT_KEEP)
+            .expect_err("nothing loadable");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("run.ckpt:") && msg.contains("run.ckpt.1:"),
+            "error lists candidates: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use super::matrix::RowBufferFock;
 use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_dmpi::{DistributedArray, FaultPlan, LeaseMode};
+use phi_dmpi::{DistributedArray, FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
@@ -38,6 +38,7 @@ pub fn build_distributed(
     dens: &DensitySet<'_>,
     n_ranks: usize,
     faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -47,11 +48,21 @@ pub fn build_distributed(
     let nch = work.n_channels();
     // The distributed Fock matrices: N x N row-major, striped over ranks,
     // one array per spin channel. Created outside the world, so they
-    // survive rank deaths — flushed contributions are durable.
-    let focks: Vec<DistributedArray> =
-        (0..nch).map(|_| DistributedArray::new(n * n, n_ranks)).collect();
+    // survive rank deaths — flushed contributions are durable. Under a
+    // fault plan the window requests travel the reliable link, so drops
+    // and corruptions drain into retransmission.
+    let focks: Vec<DistributedArray> = (0..nch)
+        .map(|_| {
+            let w = DistributedArray::new(n * n, n_ranks);
+            match faults {
+                Some(plan) => w.with_faults(plan, retry),
+                None => w,
+            }
+        })
+        .collect();
 
-    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+    let cfg = WorldConfig { n_ranks, faults: faults.cloned(), retry };
+    let world = phi_dmpi::run_world_with_config(cfg, |rank| {
         let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         let mut d_local = rank.alloc_f64(nch * n * n);
@@ -186,6 +197,18 @@ pub fn build_distributed(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed;
+    stats.retransmits = world.retransmits;
+    stats.acks = world.acks;
+    stats.corruptions_detected = world.corruptions_detected;
+    stats.transient_recoveries = world.transient_recoveries;
+    for fock in &focks {
+        let ls = fock.link_stats();
+        stats.retransmits += ls.retransmits;
+        stats.acks += ls.acks;
+        stats.corruptions_detected += ls.corruptions_detected;
+        stats.transient_recoveries += ls.transient_recoveries;
+        stats.faults_injected += ls.faults_injected as usize;
+    }
     // Read the assembled lower triangles back out.
     let mats = focks
         .iter()
@@ -215,6 +238,7 @@ pub fn build_g_distributed(
         &DensitySet::Restricted(d),
         n_ranks,
         None,
+        RetryPolicy::default(),
     )
 }
 

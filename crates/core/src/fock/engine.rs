@@ -25,7 +25,7 @@
 use super::shared_fock::TaskPrescreen;
 use super::{DensitySet, FockAlgorithm, GBuild};
 use phi_chem::BasisSet;
-use phi_dmpi::FaultPlan;
+use phi_dmpi::{FaultPlan, RetryPolicy};
 use phi_integrals::{DensityMax, Screening, ShellPairs};
 
 /// Borrowed view of everything a Fock build needs besides the density:
@@ -132,11 +132,13 @@ pub struct MpiOnlyBuilder {
     pub n_ranks: usize,
     /// Deterministic fault plan applied to every build; `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for the world's message path.
+    pub retry: RetryPolicy,
 }
 
 impl FockBuilder for MpiOnlyBuilder {
     fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
-        super::mpi_only::build_mpi_only(ctx, dens, self.n_ranks, self.faults.as_ref())
+        super::mpi_only::build_mpi_only(ctx, dens, self.n_ranks, self.faults.as_ref(), self.retry)
     }
 
     fn label(&self) -> &'static str {
@@ -151,6 +153,8 @@ pub struct PrivateFockBuilder {
     pub n_threads: usize,
     /// Deterministic fault plan applied to every build; `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for the world's message path.
+    pub retry: RetryPolicy,
 }
 
 impl FockBuilder for PrivateFockBuilder {
@@ -161,6 +165,7 @@ impl FockBuilder for PrivateFockBuilder {
             self.n_ranks,
             self.n_threads,
             self.faults.as_ref(),
+            self.retry,
         )
     }
 
@@ -179,6 +184,8 @@ pub struct SharedFockBuilder {
     pub lazy_fi: bool,
     /// Deterministic fault plan applied to every build; `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for the world's message path.
+    pub retry: RetryPolicy,
 }
 
 impl SharedFockBuilder {
@@ -190,6 +197,7 @@ impl SharedFockBuilder {
             prescreen: TaskPrescreen::QMax,
             lazy_fi: true,
             faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -204,6 +212,7 @@ impl FockBuilder for SharedFockBuilder {
             self.prescreen,
             self.lazy_fi,
             self.faults.as_ref(),
+            self.retry,
         )
     }
 
@@ -221,11 +230,20 @@ pub struct ShardedBuilder {
     pub mode: phi_dmpi::DdiMode,
     /// Deterministic fault plan applied to every build; `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for the world and the window links.
+    pub retry: RetryPolicy,
 }
 
 impl FockBuilder for ShardedBuilder {
     fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
-        super::sharded::build_sharded(ctx, dens, self.n_ranks, self.mode, self.faults.as_ref())
+        super::sharded::build_sharded(
+            ctx,
+            dens,
+            self.n_ranks,
+            self.mode,
+            self.faults.as_ref(),
+            self.retry,
+        )
     }
 
     fn label(&self) -> &'static str {
@@ -239,11 +257,19 @@ pub struct DistributedBuilder {
     pub n_ranks: usize,
     /// Deterministic fault plan applied to every build; `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for the world and the window links.
+    pub retry: RetryPolicy,
 }
 
 impl FockBuilder for DistributedBuilder {
     fn build(&self, ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
-        super::distributed::build_distributed(ctx, dens, self.n_ranks, self.faults.as_ref())
+        super::distributed::build_distributed(
+            ctx,
+            dens,
+            self.n_ranks,
+            self.faults.as_ref(),
+            self.retry,
+        )
     }
 
     fn label(&self) -> &'static str {
@@ -257,27 +283,44 @@ impl FockAlgorithm {
         self.builder_with_faults(None)
     }
 
-    /// The [`FockBuilder`] implementing this algorithm under `faults`.
-    ///
-    /// The serial reference build runs in-process with no ranks to kill;
-    /// it ignores the plan. Every parallel builder threads it into its
-    /// world so rank kills, stragglers and message faults replay
-    /// deterministically on each SCF iteration.
+    /// The [`FockBuilder`] implementing this algorithm under `faults`,
+    /// with the default [`RetryPolicy`].
     pub fn builder_with_faults(self, faults: Option<FaultPlan>) -> Box<dyn FockBuilder> {
+        self.builder_with_comm(faults, RetryPolicy::default())
+    }
+
+    /// The [`FockBuilder`] implementing this algorithm under `faults`
+    /// and the reliable-delivery policy `retry`.
+    ///
+    /// The serial reference build runs in-process with no ranks to kill
+    /// and no messages to lose; it ignores both. Every parallel builder
+    /// threads them into its world so rank kills, stragglers and message
+    /// faults replay deterministically on each SCF iteration — and so
+    /// transient message faults drain into acked retransmission instead
+    /// of the kill path.
+    pub fn builder_with_comm(
+        self,
+        faults: Option<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> Box<dyn FockBuilder> {
         match self {
             FockAlgorithm::Serial => Box::new(SerialBuilder),
-            FockAlgorithm::MpiOnly { n_ranks } => Box::new(MpiOnlyBuilder { n_ranks, faults }),
+            FockAlgorithm::MpiOnly { n_ranks } => {
+                Box::new(MpiOnlyBuilder { n_ranks, faults, retry })
+            }
             FockAlgorithm::PrivateFock { n_ranks, n_threads } => {
-                Box::new(PrivateFockBuilder { n_ranks, n_threads, faults })
+                Box::new(PrivateFockBuilder { n_ranks, n_threads, faults, retry })
             }
-            FockAlgorithm::SharedFock { n_ranks, n_threads } => {
-                Box::new(SharedFockBuilder { faults, ..SharedFockBuilder::new(n_ranks, n_threads) })
-            }
+            FockAlgorithm::SharedFock { n_ranks, n_threads } => Box::new(SharedFockBuilder {
+                faults,
+                retry,
+                ..SharedFockBuilder::new(n_ranks, n_threads)
+            }),
             FockAlgorithm::Distributed { n_ranks } => {
-                Box::new(DistributedBuilder { n_ranks, faults })
+                Box::new(DistributedBuilder { n_ranks, faults, retry })
             }
             FockAlgorithm::Sharded { n_ranks, mode } => {
-                Box::new(ShardedBuilder { n_ranks, mode, faults })
+                Box::new(ShardedBuilder { n_ranks, mode, faults, retry })
             }
         }
     }

@@ -15,7 +15,7 @@ use super::matrix::ReplicatedFock;
 use super::{digest_quartet_dens, kl_bounds, pair_decode, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_dmpi::{FaultPlan, LeaseMode};
+use phi_dmpi::{FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
@@ -39,6 +39,7 @@ pub fn build_mpi_only(
     dens: &DensitySet<'_>,
     n_ranks: usize,
     faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -47,7 +48,8 @@ pub fn build_mpi_only(
     let work = dens.prepare();
     let nch = work.n_channels();
 
-    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+    let cfg = WorldConfig { n_ranks, faults: faults.cloned(), retry };
+    let world = phi_dmpi::run_world_with_config(cfg, |rank| {
         let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         // Replicated data structures, one full set per rank (the paper's
@@ -156,6 +158,10 @@ pub fn build_mpi_only(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed.clone();
+    stats.retransmits = world.retransmits;
+    stats.acks = world.acks;
+    stats.corruptions_detected = world.corruptions_detected;
+    stats.transient_recoveries = world.transient_recoveries;
     let fock = g_buf.unwrap_or_else(|| {
         panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
     });
@@ -176,6 +182,7 @@ pub fn build_g_mpi_only(
         &DensitySet::Restricted(d),
         n_ranks,
         None,
+        RetryPolicy::default(),
     )
 }
 

@@ -14,7 +14,7 @@ use super::matrix::ReplicatedFock;
 use super::{digest_quartet_dens, kl_bounds, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_dmpi::{FaultPlan, LeaseMode};
+use phi_dmpi::{FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{Schedule, Team};
@@ -43,6 +43,7 @@ pub fn build_private_fock(
     n_ranks: usize,
     n_threads: usize,
     faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -50,7 +51,8 @@ pub fn build_private_fock(
     let work = dens.prepare();
     let nch = work.n_channels();
 
-    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+    let cfg = WorldConfig { n_ranks, faults: faults.cloned(), retry };
+    let world = phi_dmpi::run_world_with_config(cfg, |rank| {
         let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         // One shared copy of each spin-channel density per rank (threads
@@ -196,6 +198,10 @@ pub fn build_private_fock(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed.clone();
+    stats.retransmits = world.retransmits;
+    stats.acks = world.acks;
+    stats.corruptions_detected = world.corruptions_detected;
+    stats.transient_recoveries = world.transient_recoveries;
     let fock = g_buf.unwrap_or_else(|| {
         panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
     });
@@ -218,6 +224,7 @@ pub fn build_g_private_fock(
         n_ranks,
         n_threads,
         None,
+        RetryPolicy::default(),
     )
 }
 

@@ -28,7 +28,7 @@ use super::matrix::{
 use super::{kl_bounds, pair_decode, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_dmpi::{DdiMode, DistributedArray, FaultPlan, LeaseMode};
+use phi_dmpi::{DdiMode, DistributedArray, FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
@@ -43,6 +43,7 @@ pub fn build_sharded(
     n_ranks: usize,
     mode: DdiMode,
     faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -54,11 +55,18 @@ pub fn build_sharded(
     // All windows are created outside the world: the density scatter is
     // the driver's job (it already owns the full matrices), and the Fock
     // windows must survive rank deaths for the durable-lease contract.
-    let d_wins = scatter_density(&work, n, n_ranks, mode);
-    let f_wins: Vec<DistributedArray> =
-        (0..nch).map(|_| DistributedArray::new_with_mode(tri_len(n), n_ranks, mode)).collect();
+    let reliable = |w: DistributedArray| match faults {
+        Some(plan) => w.with_faults(plan, retry),
+        None => w,
+    };
+    let d_wins: Vec<DistributedArray> =
+        scatter_density(&work, n, n_ranks, mode).into_iter().map(reliable).collect();
+    let f_wins: Vec<DistributedArray> = (0..nch)
+        .map(|_| reliable(DistributedArray::new_with_mode(tri_len(n), n_ranks, mode)))
+        .collect();
 
-    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+    let cfg = WorldConfig { n_ranks, faults: faults.cloned(), retry };
+    let world = phi_dmpi::run_world_with_config(cfg, |rank| {
         let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         let mut view = DensityView::RowShard(ShardDensity::new(&d_wins, n, rank.rank()));
@@ -176,6 +184,18 @@ pub fn build_sharded(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed;
+    stats.retransmits = world.retransmits;
+    stats.acks = world.acks;
+    stats.corruptions_detected = world.corruptions_detected;
+    stats.transient_recoveries = world.transient_recoveries;
+    for w in d_wins.iter().chain(&f_wins) {
+        let ls = w.link_stats();
+        stats.retransmits += ls.retransmits;
+        stats.acks += ls.acks;
+        stats.corruptions_detected += ls.corruptions_detected;
+        stats.transient_recoveries += ls.transient_recoveries;
+        stats.faults_injected += ls.faults_injected as usize;
+    }
     let mats: Vec<Mat> = f_wins.iter().map(|w| gather_tri(w, n)).collect();
     GBuild::from_channels(mats, stats)
 }
@@ -196,6 +216,7 @@ pub fn build_g_sharded(
         n_ranks,
         mode,
         None,
+        RetryPolicy::default(),
     )
 }
 
@@ -251,7 +272,8 @@ mod tests {
         let ctx = FockContext::new(&b, &pairs, &s, 1e-12);
         let dens = DensitySet::Unrestricted { alpha: &d_a, beta: &d_b };
         let want = crate::fock::serial::build_serial(&ctx, &dens);
-        let got = build_sharded(&ctx, &dens, 3, DdiMode::Mpi3OneSided, None);
+        let got =
+            build_sharded(&ctx, &dens, 3, DdiMode::Mpi3OneSided, None, RetryPolicy::default());
         let want_b = want.g_beta.expect("beta channel");
         let got_b = got.g_beta.expect("beta channel");
         assert!(got.g.max_abs_diff(&want.g) < 1e-12, "alpha {}", got.g.max_abs_diff(&want.g));

@@ -27,7 +27,7 @@ use super::private_fock::{TASK_DEAD, TASK_DONE};
 use super::{digest_quartet_dens, pair_decode, pair_index, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
-use phi_dmpi::{FaultPlan, LeaseMode};
+use phi_dmpi::{FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
 use phi_integrals::{EriEngine, Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{PaddedColumns, Schedule, SharedAccumulator, Team};
@@ -132,6 +132,7 @@ pub fn build_g_shared_fock_opt(
         prescreen,
         lazy_fi,
         None,
+        RetryPolicy::default(),
     )
 }
 
@@ -147,6 +148,7 @@ pub fn build_shared_fock_set(
     prescreen: TaskPrescreen,
     lazy_fi: bool,
     faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
 ) -> GBuild {
     let basis = ctx.basis;
     let n = basis.n_basis();
@@ -156,7 +158,8 @@ pub fn build_shared_fock_set(
     let work = dens.prepare();
     let nch = work.n_channels();
 
-    let world = phi_dmpi::run_world_with_faults(n_ranks, faults.cloned(), |rank| {
+    let cfg = WorldConfig { n_ranks, faults: faults.cloned(), retry };
+    let world = phi_dmpi::run_world_with_config(cfg, |rank| {
         let _span = phi_trace::span("fock.build");
         let start = Instant::now();
         let mut d_rank = rank.alloc_f64(nch * n * n);
@@ -392,6 +395,10 @@ pub fn build_shared_fock_set(
     stats.tasks_reclaimed = world.tasks_reclaimed;
     stats.retries = world.lease_retries;
     stats.failed_ranks = failed.clone();
+    stats.retransmits = world.retransmits;
+    stats.acks = world.acks;
+    stats.corruptions_detected = world.corruptions_detected;
+    stats.transient_recoveries = world.transient_recoveries;
     let bufs = g_buf.unwrap_or_else(|| {
         panic!("no surviving rank returned the reduced Fock (failed ranks: {failed:?})")
     });

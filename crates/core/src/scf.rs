@@ -6,7 +6,7 @@
 //! The two-electron Fock build — the paper's entire subject — is delegated
 //! to the algorithm selected in [`ScfConfig`].
 
-use crate::checkpoint::ScfCheckpoint;
+use crate::checkpoint::{ScfCheckpoint, CHECKPOINT_KEEP};
 use crate::diis::Diis;
 use crate::fock::engine::{FockBuilder, FockData};
 use crate::fock::incremental::IncrementalFock;
@@ -14,7 +14,7 @@ use crate::fock::{DensitySet, FockAlgorithm};
 use crate::guess::{core_guess, density_from_orbitals, solve_roothaan};
 use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
-use phi_dmpi::FaultPlan;
+use phi_dmpi::{FaultPlan, RetryPolicy};
 use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
 use phi_linalg::{sym_inv_sqrt, Mat};
 use std::path::PathBuf;
@@ -49,6 +49,10 @@ pub struct ScfConfig {
     /// Deterministic fault plan replayed on every Fock build (rank kills,
     /// stragglers, message faults). The serial algorithm ignores it.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for rank messages and DDI window
+    /// requests: ack timeouts, retransmit budget, deterministic backoff,
+    /// and the (formerly hard-coded) barrier/receive timeouts.
+    pub retry: RetryPolicy,
     /// Write an [`ScfCheckpoint`] here after every iteration.
     pub checkpoint_path: Option<PathBuf>,
     /// Resume from a previously written checkpoint instead of the core
@@ -91,6 +95,7 @@ impl Default for ScfConfig {
             level_shift: None,
             incore_max_bytes: None,
             faults: None,
+            retry: RetryPolicy::default(),
             checkpoint_path: None,
             resume_from: None,
             incremental: false,
@@ -221,7 +226,7 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
             max,
         )
     });
-    let direct = config.algorithm.builder_with_faults(config.faults.clone());
+    let direct = config.algorithm.builder_with_comm(config.faults.clone(), config.retry);
     let builder: &dyn FockBuilder = match &incore {
         Some(eris) => eris,
         None => direct.as_ref(),
@@ -233,9 +238,16 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
     let mut energy_history = Vec::new();
     let mut start_iter = 0;
     if let Some(path) = &config.resume_from {
-        let ck = ScfCheckpoint::load(path).unwrap_or_else(|e| {
-            panic!("failed to resume SCF from checkpoint {}: {e}", path.display())
-        });
+        // A corrupt or truncated primary falls back through the rotated
+        // generations; only when none is loadable does resume fail, and
+        // then with every candidate's own named error.
+        let (ck, loaded_from) = ScfCheckpoint::load_with_fallback(path, CHECKPOINT_KEEP)
+            .unwrap_or_else(|e| {
+                panic!("failed to resume SCF from checkpoint {}: {e}", path.display())
+            });
+        if loaded_from != *path {
+            phi_trace::instant("checkpoint.fallback", 1);
+        }
         assert_eq!(
             ck.density.rows(),
             n,
@@ -341,7 +353,7 @@ pub fn run_scf(mol: &Molecule, basis: &BasisSet, config: &ScfConfig) -> ScfResul
                 energy_history: energy_history.clone(),
                 diis: diis.snapshot(),
             };
-            ck.save(path).unwrap_or_else(|e| {
+            ck.save_rotating(path, CHECKPOINT_KEEP).unwrap_or_else(|e| {
                 panic!("failed to write SCF checkpoint to {}: {e}", path.display())
             });
         }

@@ -44,6 +44,19 @@ pub struct FockBuildStats {
     pub retries: usize,
     /// Ranks that died during this build, in order of death.
     pub failed_ranks: Vec<usize>,
+    /// Reliable-delivery retransmissions (rank messages plus DDI window
+    /// requests) during this build. World-global, set once per build.
+    pub retransmits: u64,
+    /// Acks sent by receivers, including re-acks of deduplicated
+    /// duplicates. World-global, set once per build.
+    pub acks: u64,
+    /// Payloads that failed their checksum at a receiver and were
+    /// discarded for retransmission. World-global, set once per build.
+    pub corruptions_detected: u64,
+    /// Reliable operations that succeeded after ≥1 transient fault —
+    /// faults that drained into retry instead of the kill path.
+    /// World-global, set once per build.
+    pub transient_recoveries: u64,
     /// True when this build was an incremental (ΔD) build: the quartet
     /// counts describe the density-weighted ΔD pass, not a full build.
     /// Set by the driver (like `dlb_calls`, not merged).

@@ -22,7 +22,7 @@ use crate::guess::{density_from_orbitals, solve_roothaan};
 use crate::scf::{DivergenceDetector, ScfStop};
 use crate::stats::FockBuildStats;
 use phi_chem::{BasisSet, Molecule};
-use phi_dmpi::FaultPlan;
+use phi_dmpi::{FaultPlan, RetryPolicy};
 use phi_integrals::{kinetic_matrix, nuclear_attraction_matrix, overlap_matrix};
 use phi_linalg::{sym_inv_sqrt, Mat};
 
@@ -42,6 +42,9 @@ pub struct UhfConfig {
     /// Deterministic fault plan replayed on every spin-Fock build. The
     /// serial algorithm ignores it.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery policy for rank messages and DDI window
+    /// requests (see [`crate::scf::ScfConfig::retry`]).
+    pub retry: RetryPolicy,
     /// Incremental (ΔD) spin-Fock builds: both channels accumulate
     /// `G_s,n = G_s,ref + G_s(ΔD)` — valid because each `G_s` is jointly
     /// linear in `(D_alpha, D_beta)`. See [`crate::fock::incremental`].
@@ -67,6 +70,7 @@ impl Default for UhfConfig {
             s_threshold: 1e-8,
             break_symmetry: false,
             faults: None,
+            retry: RetryPolicy::default(),
             incremental: false,
             full_rebuild_every: 8,
             purification: false,
@@ -119,7 +123,7 @@ pub fn run_uhf(
     let x = sym_inv_sqrt(&s, config.s_threshold);
     let data = FockData::build(basis);
     let ctx = data.context(basis, config.screening_tau);
-    let builder = config.algorithm.builder_with_faults(config.faults.clone());
+    let builder = config.algorithm.builder_with_comm(config.faults.clone(), config.retry);
     let e_nn = mol.nuclear_repulsion();
 
     // Core guess for both spins.

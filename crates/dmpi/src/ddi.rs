@@ -8,7 +8,10 @@
 //! benchmarks without data servers; the mode lives here so the memory
 //! model can quantify what the servers would have cost.
 
+use crate::fault::{FaultPlan, FaultSpec, RetryPolicy};
 use crate::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which DDI transport the run models.
@@ -37,6 +40,159 @@ impl DdiMode {
     }
 }
 
+/// Counters of the reliable request/response link underneath a
+/// [`DistributedArray`] (see [`DistributedArray::with_faults`]).
+/// All zero for windows without a fault-injected link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Remote request messages carried by the link.
+    pub messages: u64,
+    /// Requests acknowledged by the owning side (successful deliveries).
+    pub acks: u64,
+    /// Requests retransmitted after a transient fault.
+    pub retransmits: u64,
+    /// Payloads discarded after failing checksum verification.
+    pub corruptions_detected: u64,
+    /// Requests that were delivered after >= 1 transient fault.
+    pub transient_recoveries: u64,
+    /// Window-edge faults actually injected (drops + corruptions).
+    pub faults_injected: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LinkFaultKind {
+    Drop,
+    Corrupt,
+}
+
+struct LinkFault {
+    from: usize,
+    to: usize,
+    nth: usize,
+    kind: LinkFaultKind,
+    fired: bool,
+}
+
+/// Reliable-delivery layer for window traffic: every remote get/put/acc
+/// is a logical request message on the `(caller -> owner)` edge. A
+/// [`FaultPlan`]'s `drop@`/`corrupt@` specs are interpreted on these
+/// window edges (in their own per-edge ordinal space, independent of
+/// the world's rank-message ordinals): a dropped request never reaches
+/// the owner, a corrupt one is detected by checksum and discarded —
+/// either way the link backs off deterministically and retransmits
+/// within the policy budget, so a transient window fault costs a
+/// retransmission instead of a failed rank.
+struct WindowLink {
+    faults: Mutex<Vec<LinkFault>>,
+    /// Physical 1-based transmission ordinals per (caller, owner) edge.
+    seq: Mutex<HashMap<(usize, usize), usize>>,
+    policy: RetryPolicy,
+    messages: AtomicU64,
+    acks: AtomicU64,
+    retransmits: AtomicU64,
+    corruptions: AtomicU64,
+    recoveries: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl WindowLink {
+    fn new(plan: &FaultPlan, policy: RetryPolicy) -> Self {
+        let faults = plan
+            .specs()
+            .iter()
+            .filter_map(|spec| match *spec {
+                FaultSpec::DropMessage { from, to, nth } => {
+                    Some(LinkFault { from, to, nth, kind: LinkFaultKind::Drop, fired: false })
+                }
+                FaultSpec::CorruptMessage { from, to, nth } => {
+                    Some(LinkFault { from, to, nth, kind: LinkFaultKind::Corrupt, fired: false })
+                }
+                _ => None, // kills/delays belong to the world, not the link
+            })
+            .collect();
+        WindowLink {
+            faults: Mutex::new(faults),
+            seq: Mutex::new(HashMap::new()),
+            policy,
+            messages: AtomicU64::new(0),
+            acks: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    fn fire(&self, from: usize, to: usize) -> Option<LinkFaultKind> {
+        let nth = {
+            let mut seq = self.seq.lock();
+            let n = seq.entry((from, to)).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let mut faults = self.faults.lock();
+        for f in faults.iter_mut() {
+            if !f.fired && f.from == from && f.to == to && f.nth == nth {
+                f.fired = true;
+                return Some(f.kind);
+            }
+        }
+        None
+    }
+
+    /// Carry one logical request on the `(from -> to)` edge, absorbing
+    /// transient faults by bounded retransmission. Panics with a named
+    /// edge when the retry budget is exhausted (fatal: at real scale
+    /// this is where the owner would be declared dead).
+    fn deliver(&self, from: usize, to: usize) {
+        self.messages.fetch_add(1, Ordering::SeqCst);
+        let attempts = self.policy.max_attempts.max(1);
+        let mut suffered_transient = false;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                std::thread::sleep(self.policy.backoff_for(from, to, attempt - 1));
+                self.retransmits.fetch_add(1, Ordering::SeqCst);
+                phi_trace::instant("ddi.retransmit", to as u64);
+            }
+            match self.fire(from, to) {
+                None => {
+                    self.acks.fetch_add(1, Ordering::SeqCst);
+                    if suffered_transient {
+                        self.recoveries.fetch_add(1, Ordering::SeqCst);
+                        phi_trace::instant("ddi.recovered", to as u64);
+                    }
+                    return;
+                }
+                Some(LinkFaultKind::Drop) => {
+                    self.injected.fetch_add(1, Ordering::SeqCst);
+                    suffered_transient = true;
+                }
+                Some(LinkFaultKind::Corrupt) => {
+                    self.injected.fetch_add(1, Ordering::SeqCst);
+                    self.corruptions.fetch_add(1, Ordering::SeqCst);
+                    phi_trace::instant("ddi.corrupt_detected", to as u64);
+                    suffered_transient = true;
+                }
+            }
+        }
+        panic!(
+            "window link: no delivery on edge rank {from} -> rank {to} \
+             after {attempts} attempts (retry budget exhausted)"
+        );
+    }
+
+    fn stats(&self) -> LinkStats {
+        LinkStats {
+            messages: self.messages.load(Ordering::SeqCst),
+            acks: self.acks.load(Ordering::SeqCst),
+            retransmits: self.retransmits.load(Ordering::SeqCst),
+            corruptions_detected: self.corruptions.load(Ordering::SeqCst),
+            transient_recoveries: self.recoveries.load(Ordering::SeqCst),
+            faults_injected: self.injected.load(Ordering::SeqCst),
+        }
+    }
+}
+
 /// A globally addressable 1-D `f64` array striped over ranks in equal
 /// blocks (DDI's `ddi_create` / `ddi_get` / `ddi_put` / `ddi_acc`).
 ///
@@ -56,6 +212,7 @@ pub struct DistributedArray {
     mode: DdiMode,
     remote_bytes: Arc<Mutex<u64>>,
     server_messages: Arc<Mutex<u64>>,
+    link: Option<Arc<WindowLink>>,
 }
 
 impl DistributedArray {
@@ -83,7 +240,24 @@ impl DistributedArray {
             mode,
             remote_bytes: Arc::new(Mutex::new(0)),
             server_messages: Arc::new(Mutex::new(0)),
+            link: None,
         }
+    }
+
+    /// Attach a fault-injected reliable link: the plan's `drop@`/
+    /// `corrupt@` specs fire on this window's `(caller -> owner)` edges
+    /// (their own ordinal space, independent of the world's rank
+    /// messages) and are absorbed by bounded, deterministically
+    /// backed-off retransmission per `policy`.
+    pub fn with_faults(mut self, plan: &FaultPlan, policy: RetryPolicy) -> Self {
+        self.link = Some(Arc::new(WindowLink::new(plan, policy)));
+        self
+    }
+
+    /// Counters of the reliable link (all zero without
+    /// [`with_faults`](Self::with_faults)).
+    pub fn link_stats(&self) -> LinkStats {
+        self.link.as_ref().map_or(LinkStats::default(), |l| l.stats())
     }
 
     /// The DDI transport this array models.
@@ -118,6 +292,19 @@ impl DistributedArray {
             let seg = self.owner(pos);
             let seg_lo = pos - seg * self.seg_len;
             let take = (data_len - off).min(self.seg_len - seg_lo);
+            // Remote accesses ride the (possibly fault-injected)
+            // reliable link first: the segment mutation below only
+            // happens once the logical request got through, exactly
+            // like a real get/put/acc that was dropped in flight.
+            let remote = match self.mode {
+                DdiMode::Mpi3OneSided => seg != caller,
+                DdiMode::DataServer => true,
+            };
+            if remote {
+                if let Some(link) = &self.link {
+                    link.deliver(caller, seg);
+                }
+            }
             let mut guard = self.segments[seg].lock();
             f(off, seg_lo, &mut guard[seg_lo..seg_lo + take]);
             match self.mode {
@@ -269,11 +456,81 @@ mod tests {
                 }
             }));
         }
-        for h in handles {
-            h.join().unwrap();
+        for (worker, h) in handles.into_iter().enumerate() {
+            h.join().unwrap_or_else(|_| {
+                panic!("acc worker {worker} (caller rank {}) panicked", worker % 2)
+            });
         }
         let mut out = vec![0.0; 8];
         a.get(0, 0, &mut out);
         assert!(out.iter().all(|&v| v == 4000.0), "{out:?}");
+    }
+
+    // ------------------------------------------------ reliable link -----
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            backoff_base: std::time::Duration::from_millis(1),
+            backoff_cap: std::time::Duration::from_millis(4),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn link_retransmits_through_dropped_and_corrupt_window_requests() {
+        let plan = FaultPlan::parse("3:drop@0->1#1,corrupt@0->1#2").unwrap();
+        for mode in [DdiMode::Mpi3OneSided, DdiMode::DataServer] {
+            let a = DistributedArray::new_with_mode(100, 4, mode) // seg_len 25
+                .with_faults(&plan, fast_policy());
+            // First remote request on edge 0 -> 1 is dropped, its
+            // retransmission is corrupted, the third copy lands.
+            a.put(0, 25, &[2.0; 25]);
+            let mut out = vec![0.0; 25];
+            a.get(0, 25, &mut out);
+            assert_eq!(out, vec![2.0; 25], "{}", mode.label());
+            let s = a.link_stats();
+            assert_eq!(s.retransmits, 2, "{}", mode.label());
+            assert_eq!(s.corruptions_detected, 1);
+            assert_eq!(s.transient_recoveries, 1, "one request recovered (after two faults)");
+            assert_eq!(s.faults_injected, 2);
+            assert_eq!(s.acks, s.messages, "every request was eventually delivered");
+        }
+    }
+
+    #[test]
+    fn link_faults_do_not_fire_on_local_one_sided_access() {
+        let plan = FaultPlan::parse("3:drop@0->0#1").unwrap();
+        let a = DistributedArray::new(100, 4).with_faults(&plan, fast_policy());
+        a.put(0, 0, &[1.0; 25]); // own segment: a direct store, no link message
+        assert_eq!(a.link_stats().messages, 0);
+        assert_eq!(a.link_stats().faults_injected, 0);
+        // Data servers route even local access through the link.
+        let ds = DistributedArray::new_with_mode(100, 4, DdiMode::DataServer)
+            .with_faults(&plan, fast_policy());
+        ds.put(0, 0, &[1.0; 25]);
+        assert_eq!(ds.link_stats().messages, 1);
+        assert_eq!(ds.link_stats().retransmits, 1, "the local-edge drop fired and was absorbed");
+    }
+
+    #[test]
+    fn link_budget_exhaustion_panics_with_a_named_edge() {
+        let plan = FaultPlan::parse("3:drop@0->1#1,drop@0->1#2").unwrap();
+        let mut policy = fast_policy();
+        policy.max_attempts = 2;
+        let a = DistributedArray::new(100, 4).with_faults(&plan, policy);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.put(0, 25, &[1.0; 25]);
+        }))
+        .expect_err("an exhausted link budget must not silently drop the put");
+        let msg = err.downcast_ref::<String>().expect("panic payload is a String");
+        assert!(msg.contains("rank 0 -> rank 1"), "panic names the edge: {msg}");
+        assert!(msg.contains("2 attempts"), "panic names the budget: {msg}");
+    }
+
+    #[test]
+    fn unfaulted_window_reports_zero_link_stats() {
+        let a = DistributedArray::new(10, 2);
+        a.put(0, 5, &[1.0; 5]);
+        assert_eq!(a.link_stats(), LinkStats::default());
     }
 }

@@ -55,6 +55,13 @@ use std::time::{Duration, Instant};
 
 /// A typed communication failure. Replaces the panics/aborts that a
 /// brittle world would raise, so callers can unwind and regroup.
+///
+/// The variants split into two severities (see
+/// [`is_transient`](CommError::is_transient)): *transient* failures — a
+/// dropped or corrupt message, a recoverable timeout — are expected to
+/// drain into the retry/retransmit machinery of a [`RetryPolicy`],
+/// while *fatal* failures — a dead caller, a failed peer, an exhausted
+/// retry budget — escalate into the mark-dead / lease-reclaim path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// The calling rank has been marked dead (by fault injection); it
@@ -78,6 +85,26 @@ pub enum CommError {
         /// Message tag.
         tag: u64,
     },
+    /// A reliable send burned its whole retry budget without ever being
+    /// acknowledged. Fatal: the peer is presumed dead or unreachable.
+    RetriesExhausted {
+        /// The unreachable destination rank.
+        to: usize,
+        /// Tag of the undeliverable message.
+        tag: u64,
+        /// How many transmission attempts were made.
+        attempts: usize,
+    },
+}
+
+impl CommError {
+    /// True for failures a bounded retry is expected to absorb (lost or
+    /// corrupt message, recoverable timeout); false for fatal ones
+    /// (dead caller, failed peer, exhausted retry budget) that must
+    /// escalate into the mark-dead / lease-reclaim path.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CommError::Timeout { .. } | CommError::CorruptPayload { .. })
+    }
 }
 
 impl fmt::Display for CommError {
@@ -89,11 +116,116 @@ impl fmt::Display for CommError {
             CommError::CorruptPayload { from, tag } => {
                 write!(f, "corrupt payload from rank {from} (tag {tag})")
             }
+            CommError::RetriesExhausted { to, tag, attempts } => {
+                write!(f, "no ack from rank {to} after {attempts} attempts (tag {tag})")
+            }
         }
     }
 }
 
 impl std::error::Error for CommError {}
+
+/// Retry/backoff policy for the reliable message path and the
+/// failure-aware waits of a world.
+///
+/// A reliable send transmits its payload with a per-edge sequence
+/// number and waits [`ack_timeout`](RetryPolicy::ack_timeout) for the
+/// receiver's ack; on a transient failure (ack lost, payload dropped or
+/// corrupt in flight) it backs off deterministically and retransmits,
+/// up to [`max_attempts`](RetryPolicy::max_attempts) total
+/// transmissions. The backoff schedule is a pure function of
+/// `(seed, edge, attempt)` — no wall-clock or entropy reads — so a
+/// faulted run replays identically and virtual-time harnesses can
+/// precompute every sleep.
+///
+/// The policy also owns the world's failure-aware wait deadlines
+/// ([`ft_timeout`](RetryPolicy::ft_timeout) for barriers and lease
+/// polls, [`recv_timeout`](RetryPolicy::recv_timeout) for blocking
+/// receives), replacing the hard-coded 30 s / 60 s constants that
+/// fault tests previously depended on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transmission attempts per reliable message (>= 1). `1`
+    /// disables the ack/retransmit protocol entirely — see
+    /// [`RetryPolicy::none`].
+    pub max_attempts: usize,
+    /// How long a sender waits for an ack before retransmitting.
+    pub ack_timeout: Duration,
+    /// Backoff before the first retransmission.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff per further retransmission.
+    pub backoff_factor: u32,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Deadline for failure-aware barriers and the lease poll loop:
+    /// long enough that it only fires on a genuine hang, short enough
+    /// that a wedged run still terminates with a diagnosis.
+    pub ft_timeout: Duration,
+    /// How long a blocking receive waits before concluding the message
+    /// will never arrive.
+    pub recv_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Reliable delivery with a small retry budget and the legacy wait
+    /// deadlines (30 s barrier/lease, 60 s receive).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            ack_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(2),
+            backoff_factor: 2,
+            backoff_cap: Duration::from_millis(50),
+            seed: 0x9E37_79B9_7F4A_7C15,
+            ft_timeout: Duration::from_secs(30),
+            recv_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No reliability layer at all: single transmission, no acks, no
+    /// retransmits — the raw fire-and-forget semantics of the legacy
+    /// message path. The A/B baseline for overhead benchmarks.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Whether the ack/retransmit protocol is active.
+    pub fn reliable(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Set both failure-aware wait deadlines (barrier/lease and
+    /// receive) to `timeout` — the `--comm-timeout-ms` CLI knob.
+    pub fn with_comm_timeout(mut self, timeout: Duration) -> Self {
+        self.ft_timeout = timeout;
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Backoff before retransmission number `retry` (1-based) on the
+    /// `from -> to` edge: exponential in `retry`, capped, with a
+    /// deterministic jitter of up to half the step derived from
+    /// `(seed, edge, retry)`. Pure function — identical across replays.
+    pub fn backoff_for(&self, from: usize, to: usize, retry: usize) -> Duration {
+        let base = self.backoff_base.as_nanos() as u64;
+        let factor = u64::from(self.backoff_factor.max(1));
+        let mut step = base;
+        for _ in 1..retry {
+            step = step.saturating_mul(factor);
+        }
+        let mut state = self
+            .seed
+            .wrapping_add((from as u64) << 32)
+            .wrapping_add(to as u64)
+            .wrapping_add((retry as u64) << 48);
+        let jitter = if step == 0 { 0 } else { splitmix64(&mut state) % (step / 2 + 1) };
+        Duration::from_nanos(step.saturating_add(jitter)).min(self.backoff_cap)
+    }
+}
 
 /// One injected fault from a [`FaultPlan`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -309,6 +441,54 @@ impl FtBarrier {
             s = guard;
         }
         Ok(())
+    }
+
+    /// Register an arrival without blocking. Returns `None` if this
+    /// arrival completed the barrier (waiters are released), otherwise
+    /// the generation token to poll with
+    /// [`wait_released`](FtBarrier::wait_released) /
+    /// [`withdraw`](FtBarrier::withdraw). This split lets a rank keep
+    /// servicing its message channel (acking peers' retransmissions)
+    /// while parked at a barrier — without progress there, a peer whose
+    /// ack was lost would retransmit into silence forever.
+    pub fn arrive(&self) -> Option<u64> {
+        let mut s = self.lock();
+        s.arrived += 1;
+        if s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            None
+        } else {
+            Some(s.generation)
+        }
+    }
+
+    /// Block up to `timeout` for generation `gen` to complete; true if
+    /// it has (the caller's pending arrival is consumed by the
+    /// release), false on timeout (the arrival still stands).
+    pub fn wait_released(&self, gen: u64, timeout: Duration) -> bool {
+        let mut s = self.lock();
+        if s.generation != gen {
+            return true;
+        }
+        let (guard, _timed_out) =
+            self.cv.wait_timeout(s, timeout).unwrap_or_else(|e| e.into_inner());
+        s = guard;
+        s.generation != gen
+    }
+
+    /// Withdraw a pending arrival registered by
+    /// [`arrive`](FtBarrier::arrive) (a caller giving up). Returns
+    /// false if generation `gen` already completed — the arrival was
+    /// consumed and there is nothing to withdraw.
+    pub fn withdraw(&self, gen: u64) -> bool {
+        let mut s = self.lock();
+        if s.generation != gen {
+            return false;
+        }
+        s.arrived = s.arrived.saturating_sub(1);
+        true
     }
 
     /// Permanently remove one participant (a dying rank). If the
@@ -685,6 +865,38 @@ mod tests {
         assert!(t.all_complete());
         assert_eq!(t.reclaimed(), 2);
         assert_eq!(t.reissued_claims(), 2);
+    }
+
+    #[test]
+    fn taxonomy_splits_transient_from_fatal() {
+        assert!(CommError::Timeout { what: "ack" }.is_transient());
+        assert!(CommError::CorruptPayload { from: 0, tag: 1 }.is_transient());
+        assert!(!CommError::SelfDead.is_transient());
+        assert!(!CommError::RankFailed { rank: 2 }.is_transient());
+        assert!(!CommError::RetriesExhausted { to: 1, tag: 9, attempts: 4 }.is_transient());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let p = RetryPolicy::default();
+        for retry in 1..=6 {
+            assert_eq!(p.backoff_for(0, 1, retry), p.backoff_for(0, 1, retry), "replayable");
+            assert!(p.backoff_for(0, 1, retry) <= p.backoff_cap);
+        }
+        // Pre-cap the schedule is non-decreasing in the retry number.
+        assert!(p.backoff_for(2, 3, 1) >= p.backoff_base);
+        assert!(p.backoff_for(2, 3, 2) >= p.backoff_for(2, 3, 1).min(p.backoff_cap / 2));
+        // Different edges jitter differently (with overwhelming probability).
+        assert_ne!(p.backoff_for(0, 1, 1), p.backoff_for(1, 0, 1));
+    }
+
+    #[test]
+    fn none_policy_disables_reliability() {
+        assert!(!RetryPolicy::none().reliable());
+        assert!(RetryPolicy::default().reliable());
+        let p = RetryPolicy::default().with_comm_timeout(Duration::from_millis(750));
+        assert_eq!(p.ft_timeout, Duration::from_millis(750));
+        assert_eq!(p.recv_timeout, Duration::from_millis(750));
     }
 
     #[test]

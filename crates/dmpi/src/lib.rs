@@ -34,7 +34,11 @@ pub mod memory;
 pub mod sync;
 pub mod world;
 
-pub use ddi::{DdiMode, DistributedArray};
-pub use fault::{CommError, FaultPlan, FaultSpec, FtBarrier, LeaseClaim, LeaseMode, TaskLeases};
+pub use ddi::{DdiMode, DistributedArray, LinkStats};
+pub use fault::{
+    CommError, FaultPlan, FaultSpec, FtBarrier, LeaseClaim, LeaseMode, RetryPolicy, TaskLeases,
+};
 pub use memory::{MemoryReport, MemoryTracker, TrackedBuf};
-pub use world::{run_world, run_world_with_faults, Rank, WorldResult};
+pub use world::{
+    run_world, run_world_with_config, run_world_with_faults, Rank, WorldConfig, WorldResult,
+};

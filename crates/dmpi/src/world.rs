@@ -10,33 +10,45 @@
 
 use crate::dlb::Dlb;
 use crate::fault::{
-    splitmix64, CommError, FaultPlan, FaultSpec, FtBarrier, LeaseClaim, LeaseMode, TaskLeases,
+    splitmix64, CommError, FaultPlan, FaultSpec, FtBarrier, LeaseClaim, LeaseMode, RetryPolicy,
+    TaskLeases,
 };
 use crate::memory::{MemoryReport, MemoryTracker, TrackedBuf};
 use crate::sync::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Default deadline for failure-aware barriers and the lease poll loop:
-/// long enough that it only fires on a genuine hang, short enough that a
-/// wedged test run still terminates with a diagnosis.
-const FT_TIMEOUT: Duration = Duration::from_secs(30);
 /// Back-off between lease polls while another live rank holds the last
 /// outstanding tasks.
 const LEASE_POLL: Duration = Duration::from_micros(50);
-/// How long the legacy blocking [`Rank::recv`] waits before concluding
-/// the message will never arrive.
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long a rank parked at a barrier blocks between channel-pumping
+/// sweeps. Short enough that a peer's retransmission is re-acked well
+/// inside one ack timeout; release itself is condvar-notified, so
+/// barrier exit latency does not pay this granularity.
+const BARRIER_PUMP_SLICE: Duration = Duration::from_millis(1);
+
+/// Reserved tag for the reliable reduction messages of
+/// [`Rank::try_gsumf`].
+const TAG_RELIABLE_REDUCE: u64 = u64::MAX - 3;
+/// Reserved tag for the reliable broadcast messages of
+/// [`Rank::try_gsumf`].
+const TAG_RELIABLE_BCAST: u64 = u64::MAX - 4;
 
 /// A tagged point-to-point message. The checksum travels with the
 /// payload so corruption injected (or, at real scale, suffered) in
-/// flight is detected at the receiver.
+/// flight is detected at the receiver. Reliable-path messages carry a
+/// per-edge sequence number (`seq > 0`) for ack correlation and
+/// duplicate suppression; acks are empty-payload control messages with
+/// `ack = true` echoing the `(tag, seq)` they acknowledge.
 struct Message {
     from: usize,
     tag: u64,
+    seq: u64,
+    ack: bool,
     data: Vec<f64>,
     checksum: u64,
 }
@@ -222,6 +234,18 @@ struct WorldShared {
     /// Ranks that died, with reasons, in order of death.
     failures: Mutex<Vec<(usize, String)>>,
     faults: Option<FaultRuntime>,
+    /// Retry/backoff policy for the reliable message path and the
+    /// failure-aware wait deadlines.
+    retry: RetryPolicy,
+    /// Reliable-path payload retransmissions (attempts after the first).
+    retransmits: AtomicU64,
+    /// Acks sent by receivers (including re-acks of deduped duplicates).
+    acks: AtomicU64,
+    /// Payloads whose checksum verification failed at a receiver.
+    corruptions: AtomicU64,
+    /// Reliable operations (sends, barriers) that succeeded after at
+    /// least one transient failure.
+    recoveries: AtomicU64,
 }
 
 /// Handle a rank's SPMD closure receives. Not `Clone` — exactly one per
@@ -237,6 +261,11 @@ pub struct Rank {
     /// Mutex (not RefCell) so a `Rank` can be shared with an OpenMP-style
     /// thread team; p2p calls themselves remain one-rank operations.
     stash: Mutex<VecDeque<Message>>,
+    /// Next reliable sequence number per destination (outgoing edges).
+    next_seq: Mutex<HashMap<usize, u64>>,
+    /// Sequence numbers already delivered per source (incoming edges) —
+    /// the dedup set that makes retransmission at-most-once delivery.
+    delivered: Mutex<HashMap<usize, HashSet<u64>>>,
 }
 
 /// Everything a finished world returns: per-rank results plus the memory
@@ -260,12 +289,40 @@ pub struct WorldResult<R> {
     /// Lease claims served from the reissue queue — recovery work
     /// re-executed by survivors.
     pub lease_retries: usize,
+    /// Reliable-path payload retransmissions (attempts after the first).
+    pub retransmits: u64,
+    /// Acks sent by receivers (including re-acks of deduped duplicates).
+    pub acks: u64,
+    /// Payloads whose checksum verification failed at a receiver.
+    pub corruptions_detected: u64,
+    /// Reliable operations that succeeded after >= 1 transient failure.
+    pub transient_recoveries: u64,
 }
 
 impl<R> WorldResult<R> {
     /// Ids of the ranks that died, in order of death.
     pub fn failed_ranks(&self) -> Vec<usize> {
         self.failures.iter().map(|&(r, _)| r).collect()
+    }
+}
+
+/// Full configuration of a world: rank count, optional fault plan, and
+/// the retry/backoff policy governing the reliable message path and
+/// failure-aware wait deadlines.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of SPMD ranks to spawn.
+    pub n_ranks: usize,
+    /// Optional deterministic fault schedule.
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff policy (reliable delivery on by default).
+    pub retry: RetryPolicy,
+}
+
+impl WorldConfig {
+    /// Fault-free world with the default (reliable) retry policy.
+    pub fn new(n_ranks: usize) -> Self {
+        WorldConfig { n_ranks, faults: None, retry: RetryPolicy::default() }
     }
 }
 
@@ -281,9 +338,7 @@ where
 }
 
 /// Run an SPMD function over `n_ranks` ranks under an optional
-/// deterministic [`FaultPlan`]. If any rank's closure panics, the world
-/// still joins every thread and then reports *which* ranks panicked and
-/// why, instead of a bare double panic.
+/// deterministic [`FaultPlan`] and the default [`RetryPolicy`].
 pub fn run_world_with_faults<R, F>(
     n_ranks: usize,
     faults: Option<FaultPlan>,
@@ -293,6 +348,19 @@ where
     R: Send,
     F: Fn(&Rank) -> R + Sync,
 {
+    run_world_with_config(WorldConfig { n_ranks, faults, retry: RetryPolicy::default() }, f)
+}
+
+/// Run an SPMD function over a fully specified [`WorldConfig`]. If any
+/// rank's closure panics, the world still joins every thread and then
+/// reports *which* ranks panicked and why, instead of a bare double
+/// panic.
+pub fn run_world_with_config<R, F>(config: WorldConfig, f: F) -> WorldResult<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    let WorldConfig { n_ranks, faults, retry } = config;
     assert!(n_ranks >= 1);
     let shared = Arc::new(WorldShared {
         n_ranks,
@@ -305,6 +373,11 @@ where
         alive: (0..n_ranks).map(|_| AtomicBool::new(true)).collect(),
         failures: Mutex::new(Vec::new()),
         faults: faults.as_ref().map(|p| FaultRuntime::new(p, n_ranks)),
+        retry,
+        retransmits: AtomicU64::new(0),
+        acks: AtomicU64::new(0),
+        corruptions: AtomicU64::new(0),
+        recoveries: AtomicU64::new(0),
     });
     let mut senders = Vec::with_capacity(n_ranks);
     let mut receivers = Vec::with_capacity(n_ranks);
@@ -322,6 +395,8 @@ where
             senders: senders.clone(),
             receiver: Mutex::new(receiver),
             stash: Mutex::new(VecDeque::new()),
+            next_seq: Mutex::new(HashMap::new()),
+            delivered: Mutex::new(HashMap::new()),
         })
         .collect();
 
@@ -356,6 +431,10 @@ where
     // reconcile exactly with the WorldResult fields below.
     phi_trace::counter("dlb.calls", shared.dlb.calls_made() as u64);
     phi_trace::counter("tasks.reclaimed", shared.leases.reclaimed() as u64);
+    phi_trace::counter("comm.retransmits", shared.retransmits.load(Ordering::SeqCst));
+    phi_trace::counter("comm.acks", shared.acks.load(Ordering::SeqCst));
+    phi_trace::counter("comm.corruptions", shared.corruptions.load(Ordering::SeqCst));
+    phi_trace::counter("comm.recoveries", shared.recoveries.load(Ordering::SeqCst));
 
     let failures = shared.failures.lock().clone();
     WorldResult {
@@ -367,6 +446,10 @@ where
         faults_injected: shared.faults.as_ref().map_or(0, |fr| fr.injected.load(Ordering::SeqCst)),
         tasks_reclaimed: shared.leases.reclaimed(),
         lease_retries: shared.leases.reissued_claims(),
+        retransmits: shared.retransmits.load(Ordering::SeqCst),
+        acks: shared.acks.load(Ordering::SeqCst),
+        corruptions_detected: shared.corruptions.load(Ordering::SeqCst),
+        transient_recoveries: shared.recoveries.load(Ordering::SeqCst),
     }
 }
 
@@ -444,14 +527,55 @@ impl Rank {
     }
 
     /// Failure-aware world barrier: only live ranks participate, a dead
-    /// caller errors immediately, and a wedged barrier times out instead
-    /// of hanging forever.
+    /// caller errors immediately, and a wedged barrier times out (after
+    /// the [`RetryPolicy`] `ft_timeout`) instead of hanging forever.
+    ///
+    /// This is a *progress* barrier: while parked, the rank keeps
+    /// draining and acking its message channel. That
+    /// matters for reliable delivery — a rank that finished its part of
+    /// a collective and reached the exit barrier must still re-ack a
+    /// peer's retransmissions (whose original ack the network lost), or
+    /// the peer would retry into silence and burn its budget on a fault
+    /// that was already recovered.
     pub fn ft_barrier(&self) -> Result<(), CommError> {
         if !self.alive() {
             return Err(CommError::SelfDead);
         }
         let _span = phi_trace::span("mpi.barrier");
-        self.shared.barrier.wait(FT_TIMEOUT)
+        let Some(gen) = self.shared.barrier.arrive() else {
+            return Ok(()); // our arrival completed the barrier
+        };
+        let deadline = Instant::now() + self.shared.retry.ft_timeout;
+        loop {
+            if self.shared.barrier.wait_released(gen, BARRIER_PUMP_SLICE) {
+                return Ok(());
+            }
+            if !self.alive() {
+                // deregister (in mark_dead) already withdrew our slot
+                // from `expected`; drop the pending arrival too.
+                self.shared.barrier.withdraw(gen);
+                return Err(CommError::SelfDead);
+            }
+            if Instant::now() >= deadline {
+                if self.shared.barrier.withdraw(gen) {
+                    return Err(CommError::Timeout { what: "barrier" });
+                }
+                return Ok(()); // released at the last instant
+            }
+            self.pump_channel();
+        }
+    }
+
+    /// Drain every already-delivered message through
+    /// [`pump`](Self::pump), stashing survivors for later receives.
+    /// Safe wherever the rank has no reliable send in flight (sends
+    /// block until acked, so a rank parked at a barrier never does).
+    fn pump_channel(&self) {
+        while let Ok(msg) = { self.receiver.lock().try_recv() } {
+            if let Some(m) = self.pump(msg) {
+                self.stash.lock().push_back(m);
+            }
+        }
     }
 
     // ----------------------------------------------------------- dlb ----
@@ -503,7 +627,7 @@ impl Rank {
         // DLB wait: claim-lock contention plus any Pending polling until
         // a task (or exhaustion) arrives — the paper's idle-time metric.
         let _span = phi_trace::span("dlb.wait");
-        let deadline = Instant::now() + FT_TIMEOUT;
+        let deadline = Instant::now() + self.shared.retry.ft_timeout;
         loop {
             match self.shared.leases.claim(self.id) {
                 LeaseClaim::Task { task, reissued, prev_owner } => {
@@ -578,10 +702,31 @@ impl Rank {
         });
     }
 
-    /// Non-blocking tagged send to `dest`. Under fault injection the
-    /// scheduled message on this edge may be silently dropped or have
-    /// its payload corrupted in flight.
+    /// Non-blocking tagged send to `dest` with raw (fire-and-forget)
+    /// semantics. Under fault injection the scheduled message on this
+    /// edge may be silently dropped or have its payload corrupted in
+    /// flight — and stays lost: recovery is the caller's problem. The
+    /// reliable path is [`send_reliable`](Self::send_reliable).
     pub fn try_send(&self, dest: usize, tag: u64, data: &[f64]) -> Result<(), CommError> {
+        self.post(dest, tag, 0, false, data, true)
+    }
+
+    /// One physical transmission on the `self -> dest` edge. Every
+    /// outgoing message — raw, reliable data, retransmission, or ack —
+    /// funnels through here, so injected edge faults key on physical
+    /// 1-based transmission ordinals. `charge` controls communication-
+    /// volume accounting: collectives charge each rank's contribution
+    /// once at a higher level, and the protocol's acks/retransmits are
+    /// never charged.
+    fn post(
+        &self,
+        dest: usize,
+        tag: u64,
+        seq: u64,
+        ack: bool,
+        data: &[f64],
+        charge: bool,
+    ) -> Result<(), CommError> {
         if !self.alive() {
             return Err(CommError::SelfDead);
         }
@@ -603,9 +748,11 @@ impl Rank {
                 }
             }
         }
-        self.count_bytes(payload.len());
+        if charge {
+            self.count_bytes(payload.len());
+        }
         self.senders[dest]
-            .send(Message { from: self.id, tag, data: payload, checksum })
+            .send(Message { from: self.id, tag, seq, ack, data: payload, checksum })
             .map_err(|_| CommError::RankFailed { rank: dest })
     }
 
@@ -614,18 +761,55 @@ impl Rank {
             .fetch_add((elems * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
     }
 
-    fn verify(msg: Message) -> Result<Vec<f64>, CommError> {
+    fn verify(&self, msg: Message) -> Result<Vec<f64>, CommError> {
         if payload_checksum(&msg.data) != msg.checksum {
+            self.shared.corruptions.fetch_add(1, Ordering::SeqCst);
+            phi_trace::instant("comm.corrupt_detected", msg.from as u64);
             Err(CommError::CorruptPayload { from: msg.from, tag: msg.tag })
         } else {
             Ok(msg.data)
         }
     }
 
+    /// Housekeeping applied to every message pulled off the channel.
+    /// Returns the message if it should be kept (matched or stashed);
+    /// `None` if the protocol consumed it: stale acks are discarded,
+    /// corrupt reliable payloads are dropped (the sender's ack timeout
+    /// drives the retransmission that recovers them), and duplicate
+    /// reliable deliveries are suppressed but re-acked — the first ack
+    /// may be what the network lost.
+    fn pump(&self, msg: Message) -> Option<Message> {
+        if msg.ack {
+            // An ack reaching a generic receive path is stale: acks are
+            // awaited synchronously right after their data send.
+            return None;
+        }
+        if msg.seq == 0 {
+            return Some(msg); // raw message; verified when matched
+        }
+        if payload_checksum(&msg.data) != msg.checksum {
+            self.shared.corruptions.fetch_add(1, Ordering::SeqCst);
+            phi_trace::instant("comm.corrupt_detected", msg.from as u64);
+            return None;
+        }
+        let fresh = self.delivered.lock().entry(msg.from).or_default().insert(msg.seq);
+        if self.shared.retry.reliable() {
+            // Ack delivery into this rank's address space. A dead rank
+            // cannot ack — its peers' retry budgets will conclude so.
+            let _ = self.post(msg.from, msg.tag, msg.seq, true, &[], false);
+            self.shared.acks.fetch_add(1, Ordering::SeqCst);
+        }
+        if fresh {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+
     /// Blocking receive matching `(from, tag)` (legacy API; panics if
     /// the message never arrives or fails verification).
     pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
-        self.recv_timeout(from, tag, RECV_TIMEOUT).unwrap_or_else(|e| {
+        self.recv_timeout(from, tag, self.shared.retry.recv_timeout).unwrap_or_else(|e| {
             panic!("rank {}: recv(from={from}, tag={tag}) failed: {e}", self.id)
         })
     }
@@ -635,7 +819,9 @@ impl Rank {
     /// tagged out-of-order delivery works; a message that never arrives
     /// returns [`CommError::Timeout`] instead of hanging forever, and a
     /// payload failing its checksum returns
-    /// [`CommError::CorruptPayload`].
+    /// [`CommError::CorruptPayload`]. Messages from a peer's
+    /// [`send_reliable`](Self::send_reliable) are acked and deduplicated
+    /// transparently.
     pub fn recv_timeout(
         &self,
         from: usize,
@@ -647,7 +833,7 @@ impl Rank {
             let mut stash = self.stash.lock();
             if let Some(pos) = stash.iter().position(|m| m.from == from && m.tag == tag) {
                 let msg = stash.remove(pos).expect("position is valid");
-                return Self::verify(msg);
+                return self.verify(msg);
             }
         }
         let deadline = Instant::now() + timeout;
@@ -663,11 +849,116 @@ impl Rank {
                     return Err(CommError::RankFailed { rank: from })
                 }
             };
+            let Some(msg) = self.pump(msg) else { continue };
             if msg.from == from && msg.tag == tag {
-                return Self::verify(msg);
+                return self.verify(msg);
             }
             self.stash.lock().push_back(msg);
         }
+    }
+
+    // ------------------------------------------- reliable delivery ------
+
+    /// Reliable tagged send: the payload travels with a per-edge
+    /// sequence number, and the call blocks until the receiver's ack
+    /// arrives. On a transient failure (payload or ack lost/corrupt in
+    /// flight) the sender backs off deterministically and retransmits;
+    /// the receiver deduplicates by sequence number, so delivery is
+    /// exactly-once even when the ack was what the network lost. A
+    /// burned retry budget is fatal:
+    /// [`CommError::RetriesExhausted`].
+    pub fn send_reliable(&self, dest: usize, tag: u64, data: &[f64]) -> Result<(), CommError> {
+        self.send_reliable_inner(dest, tag, data, true)
+    }
+
+    fn send_reliable_inner(
+        &self,
+        dest: usize,
+        tag: u64,
+        data: &[f64],
+        charge: bool,
+    ) -> Result<(), CommError> {
+        let seq = {
+            let mut s = self.next_seq.lock();
+            let n = s.entry(dest).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let policy = &self.shared.retry;
+        if !policy.reliable() {
+            return self.post(dest, tag, seq, false, data, charge);
+        }
+        let mut suffered_transient = false;
+        for attempt in 1..=policy.max_attempts {
+            if attempt > 1 {
+                std::thread::sleep(policy.backoff_for(self.id, dest, attempt - 1));
+                self.shared.retransmits.fetch_add(1, Ordering::SeqCst);
+                phi_trace::instant("comm.retransmit", dest as u64);
+            }
+            self.post(dest, tag, seq, false, data, charge && attempt == 1)?;
+            match self.wait_ack(dest, tag, seq, policy.ack_timeout) {
+                Ok(()) => {
+                    if suffered_transient {
+                        self.shared.recoveries.fetch_add(1, Ordering::SeqCst);
+                        phi_trace::instant("comm.recovered", dest as u64);
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() => suffered_transient = true,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CommError::RetriesExhausted { to: dest, tag, attempts: policy.max_attempts })
+    }
+
+    /// Wait for the ack matching `(dest, tag, seq)`, pumping (acking,
+    /// deduplicating, stashing) any cross-traffic that arrives in the
+    /// meantime so concurrent reliable exchanges with other peers make
+    /// progress.
+    fn wait_ack(
+        &self,
+        dest: usize,
+        tag: u64,
+        seq: u64,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CommError::Timeout { what: "ack" });
+            }
+            let msg = match self.receiver.lock().recv_timeout(remaining) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { what: "ack" }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankFailed { rank: dest })
+                }
+            };
+            if msg.ack {
+                if payload_checksum(&msg.data) != msg.checksum {
+                    // A corrupt ack proves nothing about delivery; let
+                    // the timeout drive a retransmission.
+                    self.shared.corruptions.fetch_add(1, Ordering::SeqCst);
+                    phi_trace::instant("comm.corrupt_detected", msg.from as u64);
+                    continue;
+                }
+                if msg.from == dest && msg.tag == tag && msg.seq == seq {
+                    return Ok(());
+                }
+                continue; // stale duplicate ack from an earlier exchange
+            }
+            let Some(msg) = self.pump(msg) else { continue };
+            self.stash.lock().push_back(msg);
+        }
+    }
+
+    /// Receive the next reliable (or raw) message matching `(from,
+    /// tag)`, waiting up to the policy's receive deadline. Acking and
+    /// deduplication happen in the message pump, so this is just a
+    /// policy-timed [`recv_timeout`](Self::recv_timeout).
+    pub fn recv_reliable(&self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        self.recv_timeout(from, tag, self.shared.retry.recv_timeout)
     }
 
     // --------------------------------------------------- collectives ----
@@ -679,35 +970,97 @@ impl Rank {
         self.try_gsumf(data).unwrap_or_else(|e| panic!("rank {}: gsumf failed: {e}", self.id));
     }
 
-    /// Failure-aware global sum over the *surviving* ranks, in place.
-    /// The lowest live rank coordinates (rank 0 may be dead), dead ranks
-    /// must not call, and a wedged phase times out instead of hanging.
+    /// Failure-aware global sum over the *surviving* ranks, in place:
+    /// a binomial reduction tree to the lowest live rank followed by a
+    /// binomial broadcast, carried over the reliable message path so a
+    /// dropped or corrupt payload anywhere in the tree drains into
+    /// retransmission instead of a dead rank. Dead ranks must not call,
+    /// and a wedged phase times out instead of hanging.
+    ///
+    /// The entry barrier freezes the live-rank set: kills only fire
+    /// inside [`lease_next`](Self::lease_next), so once every survivor
+    /// has entered the collective they all derive the same tree. A
+    /// fatal communication failure (retry budget exhausted, peer dead)
+    /// escalates into the mark-dead/lease-reclaim path so the
+    /// remaining ranks regroup.
     pub fn try_gsumf(&self, data: &mut [f64]) -> Result<(), CommError> {
         if !self.alive() {
             return Err(CommError::SelfDead);
         }
         let _span = phi_trace::span("mpi.gsum");
+        // Each rank is charged its contribution once, as a collective;
+        // the tree's internal transmissions and acks are not counted
+        // on top.
         self.count_bytes(data.len());
         self.ft_barrier()?;
-        if self.is_lowest_live() {
-            let mut buf = self.shared.coll.lock();
-            buf.clear();
-            buf.resize(data.len(), 0.0);
-        }
-        self.ft_barrier()?;
-        {
-            let mut buf = self.shared.coll.lock();
-            assert_eq!(buf.len(), data.len(), "gsumf length mismatch across ranks");
-            for (b, d) in buf.iter_mut().zip(data.iter()) {
-                *b += *d;
+        let live: Vec<usize> = (0..self.shared.n_ranks)
+            .filter(|&r| self.shared.alive[r].load(Ordering::SeqCst))
+            .collect();
+        let me = match live.iter().position(|&r| r == self.id) {
+            Some(pos) => pos,
+            None => return Err(CommError::SelfDead),
+        };
+        if let Err(e) = self.tree_exchange(&live, me, data) {
+            if e != CommError::SelfDead {
+                // The reliable layer already absorbed every transient
+                // fault it could; what surfaces here is fatal.
+                self.mark_dead(format!("gsum failed on rank {}: {e}", self.id));
             }
+            return Err(e);
         }
         self.ft_barrier()?;
-        {
-            let buf = self.shared.coll.lock();
-            data.copy_from_slice(&buf);
+        Ok(())
+    }
+
+    /// Binomial reduce-to-`live[0]` + broadcast over the live ranks,
+    /// addressed by position in `live`, on the reliable message path.
+    fn tree_exchange(&self, live: &[usize], me: usize, data: &mut [f64]) -> Result<(), CommError> {
+        let p = live.len();
+        let mut step = 1;
+        while step < p {
+            if me & step != 0 {
+                self.send_reliable_inner(live[me - step], TAG_RELIABLE_REDUCE, data, false)?;
+                break;
+            } else if me + step < p {
+                let peer = live[me + step];
+                let incoming = self.recv_reliable(peer, TAG_RELIABLE_REDUCE)?;
+                assert_eq!(
+                    incoming.len(),
+                    data.len(),
+                    "rank {}: gsumf length mismatch (peer rank {peer})",
+                    self.id
+                );
+                for (d, v) in data.iter_mut().zip(&incoming) {
+                    *d += v;
+                }
+            }
+            step <<= 1;
         }
-        self.ft_barrier()?;
+        if me != 0 {
+            let lowest = me & me.wrapping_neg();
+            let parent = live[me - lowest];
+            let got = self.recv_reliable(parent, TAG_RELIABLE_BCAST)?;
+            assert_eq!(
+                got.len(),
+                data.len(),
+                "rank {}: gsumf length mismatch (parent rank {parent})",
+                self.id
+            );
+            data.copy_from_slice(&got);
+        }
+        let mut mask = 1usize;
+        while mask < p {
+            mask <<= 1;
+        }
+        mask >>= 1;
+        let mut bit = if me == 0 { mask } else { (me & me.wrapping_neg()) >> 1 };
+        while bit > 0 {
+            let dest = me | bit;
+            if dest != me && dest < p {
+                self.send_reliable_inner(live[dest], TAG_RELIABLE_BCAST, data, false)?;
+            }
+            bit >>= 1;
+        }
         Ok(())
     }
 
@@ -730,7 +1083,12 @@ impl Rank {
                 break;
             } else if me + step < size {
                 let incoming = self.recv(me + step, TAG_REDUCE);
-                assert_eq!(incoming.len(), data.len(), "gsumf_tree length mismatch");
+                assert_eq!(
+                    incoming.len(),
+                    data.len(),
+                    "rank {me}: gsumf_tree length mismatch (peer rank {})",
+                    me + step
+                );
                 for (d, v) in data.iter_mut().zip(&incoming) {
                     *d += v;
                 }
@@ -775,7 +1133,12 @@ impl Rank {
         self.barrier();
         if self.id != root {
             let buf = self.shared.coll.lock();
-            assert_eq!(buf.len(), data.len(), "broadcast length mismatch");
+            assert_eq!(
+                buf.len(),
+                data.len(),
+                "rank {}: broadcast length mismatch (root rank {root})",
+                self.id
+            );
             data.copy_from_slice(&buf);
         }
         self.barrier();
@@ -1211,6 +1574,172 @@ mod tests {
             }
         });
         assert_eq!(res.per_rank[1], vec![2.0]);
+    }
+
+    // --------------------------------------------- reliable delivery ----
+
+    /// Small-timeout policy for protocol tests: injected faults recover
+    /// in milliseconds instead of wall-clock minutes, and a genuinely
+    /// wedged exchange still terminates the test with a diagnosis.
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ft_timeout: Duration::from_secs(10),
+            recv_timeout: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        }
+    }
+
+    fn faulted_cfg(n_ranks: usize, plan: &str) -> WorldConfig {
+        WorldConfig { n_ranks, faults: Some(FaultPlan::parse(plan).unwrap()), retry: fast_policy() }
+    }
+
+    #[test]
+    fn reliable_send_recovers_from_a_dropped_payload() {
+        let res = run_world_with_config(faulted_cfg(2, "9:drop@0->1#1"), |r| {
+            if r.rank() == 0 {
+                r.send_reliable(1, 4, &[1.0, 2.0]).unwrap();
+                vec![]
+            } else {
+                r.recv_reliable(0, 4).unwrap()
+            }
+        });
+        assert_eq!(res.per_rank[1], vec![1.0, 2.0]);
+        assert_eq!(res.retransmits, 1, "exactly the dropped payload is resent");
+        assert_eq!(res.acks, 1);
+        assert_eq!(res.corruptions_detected, 0);
+        assert_eq!(res.transient_recoveries, 1);
+        assert_eq!(res.faults_injected, 1);
+        assert!(res.failures.is_empty(), "a transient fault must not kill anyone");
+    }
+
+    #[test]
+    fn reliable_send_recovers_from_a_corrupt_payload() {
+        let res = run_world_with_config(faulted_cfg(2, "9:corrupt@0->1#1"), |r| {
+            if r.rank() == 0 {
+                r.send_reliable(1, 4, &[3.0, -1.0]).unwrap();
+                vec![]
+            } else {
+                r.recv_reliable(0, 4).unwrap()
+            }
+        });
+        assert_eq!(res.per_rank[1], vec![3.0, -1.0], "the clean retransmission is delivered");
+        assert_eq!(res.corruptions_detected, 1, "the damaged copy is detected and discarded");
+        assert_eq!(res.retransmits, 1);
+        assert_eq!(res.acks, 1);
+        assert_eq!(res.transient_recoveries, 1);
+        assert!(res.failures.is_empty());
+    }
+
+    #[test]
+    fn lost_ack_is_reacked_and_delivery_stays_exactly_once() {
+        // Drop the FIRST physical message on the 1 -> 0 edge: the ack.
+        // The sender times out and retransmits; the receiver must dedup
+        // the duplicate payload (deliver once) but ack it again.
+        let res = run_world_with_config(faulted_cfg(2, "9:drop@1->0#1"), |r| {
+            if r.rank() == 0 {
+                r.send_reliable(1, 4, &[7.0]).unwrap();
+                (vec![], None)
+            } else {
+                let first = r.recv_reliable(0, 4).unwrap();
+                // The duplicate was suppressed: nothing else arrives.
+                let dup = r.recv_timeout(0, 4, Duration::from_millis(300)).err();
+                (first, dup)
+            }
+        });
+        assert_eq!(res.per_rank[1].0, vec![7.0]);
+        assert_eq!(res.per_rank[1].1, Some(CommError::Timeout { what: "recv" }));
+        assert_eq!(res.retransmits, 1);
+        assert_eq!(res.acks, 2, "original ack (lost) plus the re-ack of the duplicate");
+        assert_eq!(res.transient_recoveries, 1);
+        assert!(res.failures.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_fatal_error() {
+        let mut cfg = faulted_cfg(2, "9:drop@0->1#1,drop@0->1#2,drop@0->1#3");
+        cfg.retry.max_attempts = 3;
+        cfg.retry.ack_timeout = Duration::from_millis(60);
+        let res = run_world_with_config(cfg, |r| {
+            if r.rank() == 0 {
+                r.send_reliable(1, 4, &[1.0]).err()
+            } else {
+                r.recv_timeout(0, 4, Duration::from_millis(400)).err().map(|_| {
+                    CommError::Timeout { what: "recv" } // normalize: only rank 0's error matters
+                })
+            }
+        });
+        let err = res.per_rank[0].clone().expect("rank 0's send must fail");
+        assert_eq!(err, CommError::RetriesExhausted { to: 1, tag: 4, attempts: 3 });
+        assert!(!err.is_transient(), "an exhausted budget escalates as fatal");
+        assert_eq!(res.retransmits, 2, "attempts 2 and 3 were retransmissions");
+    }
+
+    #[test]
+    fn gsumf_retransmits_through_dropped_and_corrupt_tree_messages() {
+        // Faults on reduction-tree data edges (1->0, 2->0) and on an ack
+        // edge (0->1): every one must drain into retransmission.
+        let res = run_world_with_config(
+            faulted_cfg(4, "9:drop@1->0#1,corrupt@2->0#1,drop@0->1#1"),
+            |r| {
+                let mut v = vec![r.rank() as f64, 1.0];
+                r.try_gsumf(&mut v).unwrap();
+                v
+            },
+        );
+        for v in res.per_rank {
+            assert_eq!(v, vec![6.0, 4.0]);
+        }
+        assert!(res.retransmits >= 3, "each injected fault forces a resend: {}", res.retransmits);
+        assert_eq!(res.corruptions_detected, 1);
+        // One recovery per reliable send that survived ≥1 transient
+        // fault: rank 1's reduce send (hit by a payload drop AND an ack
+        // drop) and rank 2's reduce send (hit by a corruption).
+        assert_eq!(res.transient_recoveries, 2);
+        assert!(res.failures.is_empty(), "transient faults must not kill ranks");
+        assert_eq!(res.faults_injected, 3);
+    }
+
+    #[test]
+    fn unreliable_policy_keeps_raw_fire_and_forget_semantics() {
+        let mut cfg = faulted_cfg(2, "9:drop@0->1#1");
+        cfg.retry = RetryPolicy::none().with_comm_timeout(Duration::from_secs(5));
+        let res = run_world_with_config(cfg, |r| {
+            if r.rank() == 0 {
+                r.send_reliable(1, 4, &[1.0]).unwrap();
+                None
+            } else {
+                r.recv_timeout(0, 4, Duration::from_millis(100)).err()
+            }
+        });
+        assert_eq!(res.per_rank[1], Some(CommError::Timeout { what: "recv" }));
+        assert_eq!(res.retransmits, 0);
+        assert_eq!(res.acks, 0);
+    }
+
+    #[test]
+    fn comm_timeouts_are_configurable_not_hard_coded() {
+        // One rank never reaches the barrier; with a millisecond-scale
+        // configured ft_timeout the waiter diagnoses the hang in well
+        // under a second instead of the legacy fixed 30 s.
+        let mut cfg = WorldConfig::new(2);
+        cfg.retry = RetryPolicy {
+            max_attempts: 2,
+            ft_timeout: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let start = Instant::now();
+        let res = run_world_with_config(cfg, |r| {
+            if r.rank() == 0 {
+                r.ft_barrier().err()
+            } else {
+                std::thread::sleep(Duration::from_millis(250));
+                None
+            }
+        });
+        assert_eq!(res.per_rank[0], Some(CommError::Timeout { what: "barrier" }));
+        assert!(start.elapsed() < Duration::from_secs(10));
     }
 
     #[test]

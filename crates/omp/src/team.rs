@@ -96,8 +96,12 @@ impl Team {
                 ThreadCtx { thread_num: 0, n_threads: n, shared: &shared, loop_seq: Cell::new(0) };
             let r0 = f(&ctx);
             let mut results = vec![r0];
-            for h in handles {
-                results.push(h.join().expect("team thread panicked"));
+            for (t, h) in handles.into_iter().enumerate() {
+                results.push(
+                    h.join().unwrap_or_else(|_| {
+                        panic!("team thread {} of rank {rank} panicked", t + 1)
+                    }),
+                );
             }
             results
         })

@@ -66,6 +66,10 @@ OPTIONS:
                          drop@<from>-><to>#<nth> |
                          corrupt@<from>-><to>#<nth>
                          e.g. --faults 42:kill@3,delay@1#2:50
+    --comm-timeout-ms <MS>
+                         barrier/receive timeout for the failure-aware
+                         collectives (replaces the old hard-coded 30-60 s
+                         ceilings; ack timeouts scale to min(MS, 200) ms)
                          (parallel algorithms only; survivors reclaim the
                          dead ranks' tasks and finish the build)
     --trace <FILE>       record a span trace of the whole run and write it
@@ -252,6 +256,7 @@ fn run() -> Result<(), String> {
     let mut mp2 = false;
     let mut diis = true;
     let mut faults: Option<FaultPlan> = None;
+    let mut retry = phi_scf::dmpi::RetryPolicy::default();
     let mut trace_path: Option<String> = None;
     let mut incremental = false;
     let mut full_rebuild_every = 8usize;
@@ -300,6 +305,18 @@ fn run() -> Result<(), String> {
                 memory_budget = Some(mib);
             }
             "--faults" => faults = Some(FaultPlan::parse(&value("faults")?)?),
+            "--comm-timeout-ms" => {
+                let ms: u64 = value("comm-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad comm-timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--comm-timeout-ms needs MS >= 1".into());
+                }
+                retry = retry.with_comm_timeout(std::time::Duration::from_millis(ms));
+                // Ack timeouts longer than the receive ceiling would turn
+                // every transient fault into a barrier timeout first.
+                retry.ack_timeout = retry.ack_timeout.min(retry.ft_timeout);
+            }
             "--trace" => trace_path = Some(value("trace")?),
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -353,6 +370,7 @@ fn run() -> Result<(), String> {
             screening_tau: tau,
             max_iterations: max_iter,
             faults: faults.clone(),
+            retry,
             incremental,
             full_rebuild_every,
             purification: purify,
@@ -388,6 +406,7 @@ fn run() -> Result<(), String> {
         max_iterations: max_iter,
         diis,
         faults: faults.clone(),
+        retry,
         incremental,
         full_rebuild_every,
         purification: purify,
@@ -480,6 +499,15 @@ fn print_fault_summary(stats: &[phi_scf::hf::FockBuildStats]) {
         "fault injection: {injected} faults fired, up to {failed} rank(s) lost per build, \
          {reclaimed} tasks reclaimed, {retries} recovery claims"
     );
+    let retransmits: u64 = stats.iter().map(|s| s.retransmits).sum();
+    let recovered: u64 = stats.iter().map(|s| s.transient_recoveries).sum();
+    let corrupt: u64 = stats.iter().map(|s| s.corruptions_detected).sum();
+    if retransmits + recovered + corrupt > 0 {
+        println!(
+            "reliable delivery: {retransmits} retransmissions, {corrupt} corruptions \
+             detected, {recovered} transient faults recovered without losing a rank"
+        );
+    }
 }
 
 fn main() {

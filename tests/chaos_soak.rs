@@ -1,0 +1,275 @@
+//! Chaos soak: *mixed* fault plans — a rank kill, message drops, payload
+//! corruptions and stragglers in the same run — against every parallel
+//! builder, including the sharded build under both DDI transports.
+//!
+//! The contract under test is the transient/fatal taxonomy of PR 8:
+//!
+//! * the kill is the only fatal fault — exactly one rank dies, its
+//!   leases are reclaimed, and the build completes on the survivors;
+//! * every drop/corrupt drains into acked retransmission
+//!   (`retransmits > 0`, `transient_recoveries > 0`) and costs **zero**
+//!   additional rank deaths;
+//! * the recovered Fock matrix matches the serial reference to 1e-12.
+//!
+//! Plans are seeded and replay deterministically; CI sweeps extra seeds
+//! through `PHI_FAULT_SEEDS` with a hang-guard timeout on the job.
+
+use phi_scf::chem::basis::{BasisName, BasisSet};
+use phi_scf::chem::geom::small;
+use phi_scf::dmpi::{DdiMode, FaultPlan, RetryPolicy};
+use phi_scf::hf::{run_scf, DensitySet, FockAlgorithm, FockData, ScfConfig};
+use phi_scf::linalg::Mat;
+use std::time::Duration;
+
+/// Seeds to sweep: `PHI_FAULT_SEEDS=1,2,3` overrides the built-in pair.
+fn seeds() -> Vec<u64> {
+    match std::env::var("PHI_FAULT_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim())
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse().unwrap_or_else(|_| {
+                    panic!("PHI_FAULT_SEEDS must be comma-separated integers, got '{t}'")
+                })
+            })
+            .collect(),
+        Err(_) => vec![11, 42],
+    }
+}
+
+/// Every parallel builder at four ranks — the replicated family (whose
+/// faults ride the reliable gsum tree) and the distributed family
+/// (whose faults ride the DDI window links), sharded in both DDI modes.
+fn algorithms() -> [FockAlgorithm; 6] {
+    [
+        FockAlgorithm::MpiOnly { n_ranks: 4 },
+        FockAlgorithm::PrivateFock { n_ranks: 4, n_threads: 2 },
+        FockAlgorithm::SharedFock { n_ranks: 4, n_threads: 2 },
+        FockAlgorithm::Distributed { n_ranks: 4 },
+        FockAlgorithm::Sharded { n_ranks: 4, mode: DdiMode::Mpi3OneSided },
+        FockAlgorithm::Sharded { n_ranks: 4, mode: DdiMode::DataServer },
+    ]
+}
+
+/// A mixed plan: one kill (whoever claims task 2 dies holding it), first
+/// messages dropped on three edges chosen to cover every possible
+/// post-kill reduction tree and the window links' hottest edges, the
+/// retransmissions of two of those edges corrupted on top (so one send
+/// must survive *two* transient faults back to back), and two
+/// millisecond stragglers to keep timings shuffled.
+fn mixed_plan(seed: u64) -> FaultPlan {
+    FaultPlan::parse(&format!(
+        "{seed}:kill@2,drop@1->0#1,drop@2->0#1,drop@2->1#1,\
+         corrupt@1->0#2,corrupt@2->0#2,delay@0#1:3,delay@3#1:2"
+    ))
+    .expect("chaos plan parses")
+}
+
+/// Millisecond-scale timeouts so a dropped message costs tens of
+/// milliseconds, not the defaults' 200 ms — and so a genuine hang is
+/// diagnosed in seconds. Budget of 5 attempts absorbs the
+/// drop-then-corrupt chains the plan schedules.
+fn soak_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        ack_timeout: Duration::from_millis(40),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(8),
+        ft_timeout: Duration::from_secs(10),
+        recv_timeout: Duration::from_secs(20),
+        ..RetryPolicy::default()
+    }
+}
+
+fn density(n: usize) -> Mat {
+    Mat::from_fn(n, n, |i, j| {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        0.2 + ((i * 5 + j * 11) % 7) as f64 * 0.1
+    })
+}
+
+#[test]
+fn mixed_faults_recover_on_every_builder_with_zero_transient_deaths() {
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let data = FockData::build(&b);
+    let ctx = data.context(&b, 1e-12);
+    let d = density(b.n_basis());
+    let want = FockAlgorithm::Serial.builder().build(&ctx, &DensitySet::Restricted(&d));
+
+    for seed in seeds() {
+        for alg in algorithms() {
+            let builder = alg.builder_with_comm(Some(mixed_plan(seed)), soak_policy());
+            let got = builder.build(&ctx, &DensitySet::Restricted(&d));
+            let label = builder.label();
+            let diff = got.g.max_abs_diff(&want.g);
+            assert!(diff <= 1e-12, "{label} seed {seed}: Fock diff {diff:e} under mixed faults");
+
+            // Exactly the scheduled kill died. Every drop/corrupt must
+            // have drained into retransmission, not the kill path.
+            assert_eq!(
+                got.stats.failed_ranks.len(),
+                1,
+                "{label} seed {seed}: transient faults killed ranks: {:?}",
+                got.stats.failed_ranks
+            );
+            assert!(
+                got.stats.retransmits > 0,
+                "{label} seed {seed}: mixed faults fired but nothing was retransmitted"
+            );
+            assert!(
+                got.stats.transient_recoveries > 0,
+                "{label} seed {seed}: no transient fault was recovered"
+            );
+            assert!(
+                got.stats.tasks_reclaimed > 0,
+                "{label} seed {seed}: the killed rank died holding a lease"
+            );
+            // Counter coherence: acked traffic implies acks were counted;
+            // every retransmission beyond a corruption implies at least
+            // one detected corruption was paid for by a resend.
+            assert!(
+                got.stats.acks >= got.stats.retransmits,
+                "{label} seed {seed}: {} acks < {} retransmits — successful \
+                 retransmissions must each be acked",
+                got.stats.acks,
+                got.stats.retransmits
+            );
+            assert!(
+                got.stats.retransmits >= got.stats.corruptions_detected,
+                "{label} seed {seed}: {} corruptions detected but only {} retransmits",
+                got.stats.corruptions_detected,
+                got.stats.retransmits
+            );
+            // The kill plus at least one message fault fired.
+            assert!(
+                got.stats.faults_injected >= 2,
+                "{label} seed {seed}: only {} faults fired",
+                got.stats.faults_injected
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_scf_converges_to_the_fault_free_energy() {
+    // The mixed plan replays on every iteration's build; the converged
+    // energy must match the clean serial run to SCF tolerance.
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let clean = run_scf(&mol, &b, &ScfConfig::default());
+    assert!(clean.converged);
+
+    for seed in seeds() {
+        let faulty = run_scf(
+            &mol,
+            &b,
+            &ScfConfig {
+                algorithm: FockAlgorithm::MpiOnly { n_ranks: 4 },
+                faults: Some(mixed_plan(seed)),
+                retry: soak_policy(),
+                ..Default::default()
+            },
+        );
+        assert!(faulty.converged, "seed {seed}: chaos SCF did not converge");
+        assert!(
+            (faulty.energy - clean.energy).abs() < 1e-10,
+            "seed {seed}: chaos {} vs clean {}",
+            faulty.energy,
+            clean.energy
+        );
+        let retransmits: u64 = faulty.fock_stats.iter().map(|s| s.retransmits).sum();
+        let deaths: usize = faulty.fock_stats.iter().map(|s| s.failed_ranks.len()).max().unwrap();
+        assert!(retransmits > 0, "seed {seed}: no retransmissions across the whole SCF");
+        assert_eq!(deaths, 1, "seed {seed}: transient faults must not add rank deaths");
+    }
+}
+
+#[test]
+fn unreliable_policy_under_drops_collapses_reliable_policy_recovers() {
+    // The control experiment: same drop fault, reliability off
+    // (max_attempts = 1) versus on. Without retransmission a dropped
+    // reduction message is unrecoverable — the sender exhausts its single
+    // attempt, the root's receive times out, the broadcast never happens,
+    // and the world collapses with no survivor to return the Fock. With
+    // it, the identical plan costs one retransmission.
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let data = FockData::build(&b);
+    let ctx = data.context(&b, 1e-12);
+    let d = density(b.n_basis());
+    let plan = || FaultPlan::parse("7:drop@1->0#1").expect("plan parses");
+
+    let off = RetryPolicy {
+        ft_timeout: Duration::from_millis(500),
+        recv_timeout: Duration::from_millis(500),
+        ..RetryPolicy::none()
+    };
+    let alg = FockAlgorithm::MpiOnly { n_ranks: 4 };
+    let collapsed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        alg.builder_with_comm(Some(plan()), off).build(&ctx, &DensitySet::Restricted(&d))
+    }));
+    match collapsed {
+        Err(_) => {} // every rank timed out: "no surviving rank returned the reduced Fock"
+        Ok(got) => {
+            assert!(
+                !got.stats.failed_ranks.is_empty(),
+                "fire-and-forget under a dropped reduction message must lose ranks"
+            );
+            assert_eq!(got.stats.retransmits, 0);
+        }
+    }
+
+    let on = soak_policy();
+    let got = alg.builder_with_comm(Some(plan()), on).build(&ctx, &DensitySet::Restricted(&d));
+    let want = FockAlgorithm::Serial.builder().build(&ctx, &DensitySet::Restricted(&d));
+    assert!(got.stats.failed_ranks.is_empty(), "reliable delivery must absorb the drop");
+    assert!(got.stats.retransmits > 0);
+    assert!(got.g.max_abs_diff(&want.g) <= 1e-12);
+}
+
+/// Trace-side reconciliation: the retransmit/recovery instants the world
+/// and the window links emit must agree exactly with the stats counters
+/// the builders return — the deterministic replacement for asserting on
+/// wall-clock behavior.
+#[cfg(feature = "trace")]
+#[test]
+fn chaos_trace_instants_reconcile_exactly_with_build_stats() {
+    let mol = small::water();
+    let b = BasisSet::build(&mol, BasisName::Sto3g);
+    let data = FockData::build(&b);
+    let ctx = data.context(&b, 1e-12);
+    let d = density(b.n_basis());
+
+    for alg in [
+        FockAlgorithm::MpiOnly { n_ranks: 4 },
+        FockAlgorithm::Sharded { n_ranks: 4, mode: DdiMode::DataServer },
+    ] {
+        let session = phi_scf::trace::TraceSession::begin();
+        let builder = alg.builder_with_comm(Some(mixed_plan(11)), soak_policy());
+        let got = builder.build(&ctx, &DensitySet::Restricted(&d));
+        let report = session.finish();
+        let label = builder.label();
+
+        let retransmit_instants = report.instants("comm.retransmit").len() as u64
+            + report.instants("ddi.retransmit").len() as u64;
+        let recovery_instants = report.instants("comm.recovered").len() as u64
+            + report.instants("ddi.recovered").len() as u64;
+        let corrupt_instants = report.instants("comm.corrupt_detected").len() as u64
+            + report.instants("ddi.corrupt_detected").len() as u64;
+        assert_eq!(
+            retransmit_instants, got.stats.retransmits,
+            "{label}: retransmit instants vs stats"
+        );
+        assert_eq!(
+            recovery_instants, got.stats.transient_recoveries,
+            "{label}: recovery instants vs stats"
+        );
+        assert_eq!(
+            corrupt_instants, got.stats.corruptions_detected,
+            "{label}: corruption instants vs stats"
+        );
+        assert!(got.stats.retransmits > 0, "{label}: soak plan must force retransmissions");
+    }
+}
