@@ -1,19 +1,22 @@
-//! Microbench: contracted ERI shell quartets by angular/contraction class.
+//! Microbench: class-specialized ERI kernels vs the generic McMurchie-
+//! Davidson recursion, per angular/contraction class on the paper's
+//! C6/6-31G(d)-style workload.
 //!
-//! These per-class costs are exactly what `phi-knlsim::calibrate` feeds the
-//! cluster simulator, so this bench doubles as a visibility check on the
-//! calibration inputs.
+//! Both sides run the production path (persistent [`ShellPairs`] data);
+//! the only variable is `EriEngine::use_kernels`. Every case first asserts
+//! numerical parity (<= 1e-14 per integral), then measures ns/quartet both
+//! ways. In full mode the per-class speedups are enforced as hard floors
+//! (2x on the d and SP classes the workload is dominated by, 1x meaning no
+//! regression elsewhere) so a kernel regression fails the bench, not just
+//! a dashboard. Smoke mode (`PHI_BENCH_SMOKE=1`) keeps the parity asserts
+//! and skips the floors (timings are meaningless in tiny windows).
 //!
-//! Each class is measured twice: through the compat wrapper that rebuilds
-//! pair data (E-tables, product centers, prefactors) on every call, and
-//! through the persistent [`ShellPairs`] dataset, which is what every Fock
-//! build uses in production. Pass `--json <path>` to also write the results
-//! (with per-class speedups) to a file, e.g. `BENCH_pr1.json`.
+//! Pass `--json <path>` to write the ablation table, e.g. `BENCH_pr9.json`.
 
-use phi_bench::microbench::{black_box, Runner};
+use phi_bench::microbench::{black_box, smoke_mode, Runner};
 use phi_chem::basis::{BasisName, BasisSet};
 use phi_chem::geom::small;
-use phi_integrals::{EriEngine, ShellPairs};
+use phi_integrals::{class_index, EriEngine, ShellPairs, CLASS_LABELS};
 
 fn json_path() -> Option<std::path::PathBuf> {
     let mut args = std::env::args();
@@ -27,59 +30,88 @@ fn json_path() -> Option<std::path::PathBuf> {
     None
 }
 
+struct Row {
+    name: &'static str,
+    class: &'static str,
+    generic_ns: f64,
+    kernel_ns: f64,
+    floor: f64,
+}
+
 fn main() {
     let basis = BasisSet::build(&small::c_ring(6, 1.39), BasisName::B631gd);
     let pairs = ShellPairs::build(&basis);
-    // Carbon 6-31G(d) shell order per atom: S6, L3, L1, D1.
-    // Indices (shell_a, shell_b) picked on different atoms so E-tables are
-    // nontrivial; ShellPairs stores i >= j so order bra/ket accordingly.
-    let cases: [(&str, usize, usize, usize, usize); 4] = [
-        ("(S6 S6|S6 S6) heaviest contraction", 4, 0, 4, 0),
-        ("(L3 L3|L3 L3) sp shells", 5, 1, 5, 1),
-        ("(D1 D1|D1 D1) highest angular momentum", 7, 3, 7, 3),
-        ("(S6 L3|L1 D1) mixed", 4, 1, 7, 2),
+    // Carbon 6-31G(d) shell order per atom: S6, L3, L1, D1. Indices pick
+    // shells on different atoms so E-tables are nontrivial; ShellPairs
+    // stores i >= j so bra/ket are ordered accordingly. The floor column is
+    // the enforced speedup bound: >= 2x on the contracted d/SP classes the
+    // workload is dominated by, >= 1x (no regression) on the light classes.
+    // Pure (dd|dd) from single-primitive D1 shells is contraction-bound —
+    // one primitive quartet leaves nothing for the batched phases to
+    // amortize, so its win comes from the precomputed sparse E tables and
+    // skipped R-cube zero-fill alone (measured ~1.5x); its floor is 1.3x.
+    let cases: [(&str, usize, usize, usize, usize, f64); 5] = [
+        ("(S6 S6|S6 S6) heaviest contraction", 4, 0, 4, 0, 1.0),
+        ("(L3 L3|L3 L3) sp shells", 5, 1, 5, 1, 2.0),
+        ("(D1 D1|D1 D1) highest angular momentum", 7, 3, 7, 3, 1.3),
+        ("(D1 D1|L3 L3) d x sp", 7, 3, 5, 1, 2.0),
+        ("(S6 L3|L1 D1) mixed", 4, 1, 7, 2, 1.0),
     ];
 
-    let mut r = Runner::new("eri_quartet");
+    let mut r = Runner::new("eri_kernel_ablation");
     let mut rows = Vec::new();
-    for (name, a, b, c, d) in cases {
-        let (sa, sb, sc, sd) =
-            (&basis.shells[a], &basis.shells[b], &basis.shells[c], &basis.shells[d]);
-        let len = sa.n_functions() * sb.n_functions() * sc.n_functions() * sd.n_functions();
-        let mut buf = vec![0.0; len];
-        let mut engine = EriEngine::new();
-
-        let uncached = r
-            .bench(&format!("{name} / rebuild-pairs"), || {
-                engine.shell_quartet(black_box(sa), sb, sc, sd, &mut buf);
-                black_box(buf[0]);
-            })
-            .ns_per_iter;
-
+    for (name, a, b, c, d, floor) in cases {
         let bra = pairs.pair(a, b);
         let ket = pairs.pair(c, d);
-        let cached = r
-            .bench(&format!("{name} / cached-pairs"), || {
-                engine.shell_quartet_pairs(black_box(bra), ket, &mut buf);
+        let len = bra.n_fn() * ket.n_fn();
+        let class = CLASS_LABELS[class_index(bra.l_sum, ket.l_sum)];
+        let mut kernel = EriEngine::new();
+        let mut generic = EriEngine::generic_only();
+
+        // Parity gate before timing: the ablation is only meaningful if
+        // both sides compute the same integrals.
+        let mut vk = vec![0.0; len];
+        let mut vg = vec![0.0; len];
+        kernel.shell_quartet_pairs(bra, ket, &mut vk);
+        generic.shell_quartet_pairs(bra, ket, &mut vg);
+        for (k, (x, y)) in vk.iter().zip(&vg).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-14,
+                "{name} [{class}] element {k}: kernel {x:.17e} vs generic {y:.17e}"
+            );
+        }
+
+        let mut buf = vec![0.0; len];
+        let generic_ns = r
+            .bench(&format!("{name} / generic"), || {
+                generic.shell_quartet_pairs(black_box(bra), ket, &mut buf);
+                black_box(buf[0]);
+            })
+            .ns_per_iter;
+        let kernel_ns = r
+            .bench(&format!("{name} / kernel"), || {
+                kernel.shell_quartet_pairs(black_box(bra), ket, &mut buf);
                 black_box(buf[0]);
             })
             .ns_per_iter;
 
-        println!("  -> speedup {:.2}x", uncached / cached);
-        rows.push((name, uncached, cached));
+        println!("  -> class {class}: speedup {:.2}x (floor {floor:.1}x)", generic_ns / kernel_ns);
+        rows.push(Row { name, class, generic_ns, kernel_ns, floor });
     }
 
     if let Some(path) = json_path() {
-        let mut out = String::from("{\n  \"bench\": \"eri_quartet_pair_cache_ablation\",\n");
+        let mut out = String::from("{\n  \"bench\": \"eri_kernel_class_ablation\",\n");
         out.push_str("  \"system\": \"C6 ring, 6-31G(d)\",\n  \"unit\": \"ns_per_quartet\",\n");
         out.push_str("  \"cases\": [\n");
-        for (k, (name, unc, cac)) in rows.iter().enumerate() {
+        for (k, row) in rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"class\": \"{}\", \"rebuild_pairs\": {:.1}, \"cached_pairs\": {:.1}, \"speedup\": {:.2}}}{}\n",
-                name,
-                unc,
-                cac,
-                unc / cac,
+                "    {{\"case\": \"{}\", \"class\": \"{}\", \"generic\": {:.1}, \"kernel\": {:.1}, \"speedup\": {:.2}, \"floor\": {:.1}}}{}\n",
+                row.name,
+                row.class,
+                row.generic_ns,
+                row.kernel_ns,
+                row.generic_ns / row.kernel_ns,
+                row.floor,
                 if k + 1 == rows.len() { "" } else { "," }
             ));
         }
@@ -87,4 +119,21 @@ fn main() {
         std::fs::write(&path, out).expect("write json");
         eprintln!("[json] wrote {}", path.display());
     }
+
+    if smoke_mode() {
+        eprintln!("[smoke] parity checked; speedup floors skipped");
+        return;
+    }
+    let mut failed = false;
+    for row in &rows {
+        let speedup = row.generic_ns / row.kernel_ns;
+        if speedup < row.floor {
+            eprintln!(
+                "FLOOR MISS: {} [{}] {:.2}x < required {:.1}x",
+                row.name, row.class, speedup, row.floor
+            );
+            failed = true;
+        }
+    }
+    assert!(!failed, "per-class speedup floors not met");
 }

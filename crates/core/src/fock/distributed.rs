@@ -21,7 +21,7 @@ use super::{digest_quartet_dens, kl_bounds, pair_decode, tri_to_full, DensitySet
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{DistributedArray, FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
-use phi_integrals::{EriEngine, Screening, ShellPairs};
+use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -81,7 +81,7 @@ pub fn build_distributed(
         rank.charge_bytes(fock_bytes / rank.size() + fock_bytes);
         rank.charge_bytes(ctx.pairs.bytes());
 
-        let mut engine = EriEngine::new();
+        let mut engine = ctx.engine();
         let mut eri_buf: Vec<f64> = Vec::new();
         // The write side of the distribution-aware matrix layer: a full
         // local row buffer flushed as whole rows (see fock::matrix).
@@ -169,12 +169,14 @@ pub fn build_distributed(
         phi_trace::counter("quartets_computed", computed);
         phi_trace::counter("quartets_screened", screened);
         phi_trace::counter("flushes", flushes);
+        phi_trace::counter("eri.spec_quartets", engine.spec_quartets_computed());
         (
             FockBuildStats {
                 seconds: start.elapsed().as_secs_f64(),
                 quartets_computed: computed,
                 quartets_screened: screened,
                 prim_quartets: engine.prim_quartets_computed(),
+                eri_class_quartets: engine.class_counts().to_vec(),
                 dlb_tasks: tasks,
                 flushes,
                 ..Default::default()

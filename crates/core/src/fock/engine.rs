@@ -46,6 +46,10 @@ pub struct FockContext<'a> {
     /// drivers refresh a table from ΔD each iteration and attach it with
     /// [`FockContext::with_dmax`].
     pub dmax: Option<&'a DensityMax>,
+    /// Route ERI evaluation through the class-specialized kernels
+    /// (default). Cleared by differential tests and ablations to force the
+    /// generic recursion in every builder's engines.
+    pub eri_kernels: bool,
 }
 
 impl<'a> FockContext<'a> {
@@ -55,7 +59,7 @@ impl<'a> FockContext<'a> {
         screening: &'a Screening,
         tau: f64,
     ) -> FockContext<'a> {
-        FockContext { basis, pairs, screening, tau, dmax: None }
+        FockContext { basis, pairs, screening, tau, dmax: None, eri_kernels: true }
     }
 
     /// The same context with a density-max table attached: every builder's
@@ -63,6 +67,23 @@ impl<'a> FockContext<'a> {
     pub fn with_dmax(mut self, dmax: &'a DensityMax) -> FockContext<'a> {
         self.dmax = Some(dmax);
         self
+    }
+
+    /// The same context with the class-specialized ERI kernels toggled —
+    /// `with_eri_kernels(false)` is the generic-path side of end-to-end
+    /// kernels-on-vs-off differential tests.
+    pub fn with_eri_kernels(mut self, on: bool) -> FockContext<'a> {
+        self.eri_kernels = on;
+        self
+    }
+
+    /// A fresh ERI engine configured per this context's kernel policy.
+    /// Every builder's per-thread engines come from here, so the one
+    /// toggle covers all algorithms.
+    pub fn engine(&self) -> phi_integrals::EriEngine {
+        let mut e = phi_integrals::EriEngine::new();
+        e.use_kernels = self.eri_kernels;
+        e
     }
 
     /// The quartet-level screening test every builder applies: static

@@ -16,7 +16,7 @@ use super::{digest_quartet_dens, kl_bounds, pair_decode, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
-use phi_integrals::{EriEngine, Screening, ShellPairs};
+use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -72,7 +72,7 @@ pub fn build_mpi_only(
         let mut fock = ReplicatedFock::new(nch, n);
         rank.charge_bytes(fock.bytes());
 
-        let mut engine = EriEngine::new();
+        let mut engine = ctx.engine();
         let mut eri_buf: Vec<f64> = Vec::new();
         let mut computed = 0u64;
         let mut screened = 0u64;
@@ -128,6 +128,7 @@ pub fn build_mpi_only(
         phi_trace::counter("quartets_computed", computed);
         phi_trace::counter("quartets_screened", screened);
         phi_trace::counter("flushes", 0);
+        phi_trace::counter("eri.spec_quartets", engine.spec_quartets_computed());
         let result = if !dead && rank.is_lowest_live() { Some(fock) } else { None };
         (
             result,
@@ -136,6 +137,7 @@ pub fn build_mpi_only(
                 quartets_computed: computed,
                 quartets_screened: screened,
                 prim_quartets: engine.prim_quartets_computed(),
+                eri_class_quartets: engine.class_counts().to_vec(),
                 dlb_tasks: tasks,
                 ..Default::default()
             },

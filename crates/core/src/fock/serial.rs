@@ -30,7 +30,7 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
     let n = basis.n_basis();
     let ns = basis.n_shells();
     let mut fock = ReplicatedFock::new(nch, n);
-    let mut engine = EriEngine::new();
+    let mut engine = ctx.engine();
     let mut quartets_computed = 0u64;
     let mut quartets_screened = 0u64;
     let mut eri_buf: Vec<f64> = Vec::new();
@@ -60,6 +60,14 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
     phi_trace::counter("quartets_computed", quartets_computed);
     phi_trace::counter("quartets_screened", quartets_screened);
     phi_trace::counter("flushes", 0);
+    phi_trace::counter("eri.spec_quartets", engine.spec_quartets_computed());
+    // Per-class dispatch counters (serial reference only — the parallel
+    // builders emit the aggregate above; see trace_invariants.rs).
+    for (ci, &count) in engine.class_counts().iter().enumerate() {
+        if count > 0 {
+            phi_trace::counter(phi_integrals::CLASS_TRACE_NAMES[ci], count);
+        }
+    }
 
     let mats = fock.into_mats();
     GBuild::from_channels(
@@ -69,6 +77,7 @@ pub fn build_serial(ctx: &FockContext<'_>, dens: &DensitySet<'_>) -> GBuild {
             quartets_computed,
             quartets_screened,
             prim_quartets: engine.prim_quartets_computed(),
+            eri_class_quartets: engine.class_counts().to_vec(),
             ..Default::default()
         },
     )

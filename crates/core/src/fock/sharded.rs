@@ -29,7 +29,7 @@ use super::{kl_bounds, pair_decode, DensitySet};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{DdiMode, DistributedArray, FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
-use phi_integrals::{EriEngine, Screening, ShellPairs};
+use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 use std::time::Instant;
 
@@ -86,7 +86,7 @@ pub fn build_sharded(
         rank.charge_bytes(stripe_bytes + cache_bytes + buffer_bytes);
         rank.charge_bytes(ctx.pairs.bytes());
 
-        let mut engine = EriEngine::new();
+        let mut engine = ctx.engine();
         let mut eri_buf: Vec<f64> = Vec::new();
         let mut computed = 0u64;
         let mut screened = 0u64;
@@ -161,11 +161,13 @@ pub fn build_sharded(
         phi_trace::counter("quartets_computed", computed);
         phi_trace::counter("quartets_screened", screened);
         phi_trace::counter("flushes", flushes);
+        phi_trace::counter("eri.spec_quartets", engine.spec_quartets_computed());
         FockBuildStats {
             seconds: start.elapsed().as_secs_f64(),
             quartets_computed: computed,
             quartets_screened: screened,
             prim_quartets: engine.prim_quartets_computed(),
+            eri_class_quartets: engine.class_counts().to_vec(),
             dlb_tasks: tasks,
             flushes,
             ..Default::default()

@@ -28,7 +28,7 @@ use super::{digest_quartet_dens, pair_decode, pair_index, DensitySet, FockSink};
 use crate::stats::FockBuildStats;
 use phi_chem::BasisSet;
 use phi_dmpi::{FaultPlan, LeaseMode, RetryPolicy, WorldConfig};
-use phi_integrals::{EriEngine, Screening, ShellPairs};
+use phi_integrals::{Screening, ShellPairs};
 use phi_linalg::Mat;
 use phi_omp::{PaddedColumns, Schedule, SharedAccumulator, Team};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -195,7 +195,7 @@ pub fn build_shared_fock_set(
         let _ = rank.lease_reset(n_pair, LeaseMode::Volatile);
 
         let thread_stats = team.parallel(|tctx| {
-            let mut engine = EriEngine::new();
+            let mut engine = ctx.engine();
             let mut eri_buf: Vec<f64> = Vec::new();
             let mut computed = 0u64;
             let mut screened = 0u64;
@@ -343,10 +343,12 @@ pub fn build_shared_fock_set(
             phi_trace::counter("quartets_computed", computed);
             phi_trace::counter("quartets_screened", screened);
             phi_trace::counter("flushes", flushes);
+            phi_trace::counter("eri.spec_quartets", engine.spec_quartets_computed());
             FockBuildStats {
                 quartets_computed: computed,
                 quartets_screened: screened,
                 prim_quartets: engine.prim_quartets_computed(),
+                eri_class_quartets: engine.class_counts().to_vec(),
                 dlb_tasks: tasks,
                 flushes,
                 ..Default::default()

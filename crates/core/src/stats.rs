@@ -17,6 +17,11 @@ pub struct FockBuildStats {
     pub quartets_screened: u64,
     /// Primitive quartets evaluated inside the ERI engine.
     pub prim_quartets: u64,
+    /// Shell quartets evaluated per ERI class slot
+    /// ([`phi_integrals::N_CLASS_SLOTS`] entries: the specialized kernel
+    /// classes in [`phi_integrals::CLASS_LABELS`] order, then the generic
+    /// fallback). Empty when the build recorded no class accounting.
+    pub eri_class_quartets: Vec<u64>,
     /// DLB counter claims made (MPI task pulls).
     pub dlb_tasks: usize,
     /// Total calls to the global DLB counter, including the final
@@ -74,6 +79,13 @@ impl FockBuildStats {
         }
     }
 
+    /// Shell quartets that ran a class-specialized ERI kernel (every class
+    /// slot except the generic fallback).
+    pub fn eri_spec_quartets(&self) -> u64 {
+        let spec = self.eri_class_quartets.len().min(phi_integrals::GENERIC_SLOT);
+        self.eri_class_quartets[..spec].iter().sum()
+    }
+
     /// Per-rank peak (high-water) tracked bytes: the largest single-rank
     /// footprint the live tracker saw during this build — the number the
     /// memory-wall benches assert budget claims against. Zero for builds
@@ -90,6 +102,12 @@ impl FockBuildStats {
         acc.quartets_computed += other.quartets_computed;
         acc.quartets_screened += other.quartets_screened;
         acc.prim_quartets += other.prim_quartets;
+        if acc.eri_class_quartets.len() < other.eri_class_quartets.len() {
+            acc.eri_class_quartets.resize(other.eri_class_quartets.len(), 0);
+        }
+        for (a, o) in acc.eri_class_quartets.iter_mut().zip(&other.eri_class_quartets) {
+            *a += o;
+        }
         acc.dlb_tasks += other.dlb_tasks;
         acc.flushes += other.flushes;
         acc
@@ -137,6 +155,28 @@ mod tests {
         assert_eq!(m.flushes, 5);
         // World-global: set once per build, never merged.
         assert_eq!(m.dlb_calls, 7);
+    }
+
+    #[test]
+    fn merge_adds_class_counters_elementwise() {
+        let a = FockBuildStats { eri_class_quartets: vec![1, 2], ..Default::default() };
+        let b = FockBuildStats { eri_class_quartets: vec![10, 20, 30], ..Default::default() };
+        let m = FockBuildStats::merge(a, &b);
+        assert_eq!(m.eri_class_quartets, vec![11, 22, 30]);
+        // Merging an empty contributor is a no-op.
+        let m2 = FockBuildStats::merge(m, &FockBuildStats::default());
+        assert_eq!(m2.eri_class_quartets, vec![11, 22, 30]);
+    }
+
+    #[test]
+    fn spec_quartet_accessor_excludes_the_generic_slot() {
+        assert_eq!(FockBuildStats::default().eri_spec_quartets(), 0);
+        let mut v = vec![0u64; phi_integrals::N_CLASS_SLOTS];
+        v[phi_integrals::class_index(0, 0)] = 3;
+        v[phi_integrals::class_index(4, 4)] = 5;
+        v[phi_integrals::GENERIC_SLOT] = 100;
+        let s = FockBuildStats { eri_class_quartets: v, ..Default::default() };
+        assert_eq!(s.eri_spec_quartets(), 8);
     }
 
     /// The counters the builders emit as trace events are accumulated in

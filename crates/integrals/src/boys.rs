@@ -63,6 +63,25 @@ pub fn boys_single(m: usize, t: f64) -> f64 {
     buf[m]
 }
 
+/// Batched multi-`m` evaluation over a lane of arguments, the structure-of-
+/// arrays entry point of the class-specialized ERI kernels.
+///
+/// Fills `out[q * (mmax + 1) + m] = F_m(ts[q])` — one contiguous
+/// `F_0..F_mmax` stripe per lane, so the Hermite `R` recursion that follows
+/// streams each quartet's Boys values from one cache line instead of
+/// recomputing the series inside the quartet loop. Each stripe is produced
+/// by the same scalar [`boys`] evaluation (series/asymptotic branches are
+/// data-dependent, so the transcendental core stays scalar); the batching
+/// is in the memory layout and in hoisting the calls out of the per-quartet
+/// recursion. Values are bitwise identical to per-quartet [`boys`] calls.
+pub fn boys_batch(mmax: usize, ts: &[f64], out: &mut [f64]) {
+    let stride = mmax + 1;
+    assert!(out.len() >= ts.len() * stride, "boys_batch output buffer too small");
+    for (q, &t) in ts.iter().enumerate() {
+        boys(t, &mut out[q * stride..(q + 1) * stride]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,6 +30,7 @@
 //! construct one engine and never share it.
 
 use crate::cart::components;
+use crate::kernels::{ClassKernels, EriKernel, KernelRun, GENERIC_SLOT, N_CLASS_SLOTS};
 use crate::rints::RTable;
 use crate::shell_pairs::ShellPair;
 use phi_chem::Shell;
@@ -43,21 +44,28 @@ const PI: f64 = std::f64::consts::PI;
 /// all intermediates live in engine-owned buffers that grow to a high-water
 /// mark on first use. [`EriEngine::shell_quartet`] is a compatibility
 /// wrapper that builds the two pairs on the fly.
+///
+/// Quartets dispatch by angular-momentum class: classes with a specialized
+/// kernel (see [`crate::kernels`]) run monomorphized batched code, the rest
+/// run the generic recursion in [`GenericKernel`]. The `use_kernels` toggle
+/// routes *everything* through the generic path — the reference side of the
+/// differential-testing harness and the ablation baseline.
 pub struct EriEngine {
     /// Primitive-quartet prefactor cutoff: quartets whose Gaussian-product
     /// prefactors bound the integral below this are skipped. Set to 0.0 for
     /// bitwise-exact reference calculations.
     pub prefactor_cutoff: f64,
+    /// Route classes with a specialized kernel through it (default). Clear
+    /// to force the generic recursion for every quartet.
+    pub use_kernels: bool,
     /// Number of shell quartets evaluated (for workload statistics).
     shell_quartets: u64,
     /// Number of primitive quartets actually computed.
     prim_quartets: u64,
-    /// Stage-1 intermediate `W[tuv_flat * ncd + cd]`, per ket block pair.
-    w: Vec<f64>,
-    /// Stage-2 per-bra-component accumulator (ncd elements).
-    acc: Vec<f64>,
-    /// Reusable Hermite Coulomb table (one rebuild per primitive quartet).
-    r: RTable,
+    /// Shell quartets per class slot (specialized classes + generic).
+    class_quartets: [u64; N_CLASS_SLOTS],
+    /// The kernel set: specialized instances + generic fallback.
+    kernels: ClassKernels,
 }
 
 impl Default for EriEngine {
@@ -70,12 +78,18 @@ impl EriEngine {
     pub fn new() -> Self {
         EriEngine {
             prefactor_cutoff: 1e-18,
+            use_kernels: true,
             shell_quartets: 0,
             prim_quartets: 0,
-            w: Vec::new(),
-            acc: Vec::new(),
-            r: RTable::new(),
+            class_quartets: [0; N_CLASS_SLOTS],
+            kernels: ClassKernels::new(),
         }
+    }
+
+    /// An engine forced onto the generic path for every class — the
+    /// reference side of kernel-vs-generic differential tests and ablations.
+    pub fn generic_only() -> Self {
+        EriEngine { use_kernels: false, ..EriEngine::new() }
     }
 
     pub fn shell_quartets_computed(&self) -> u64 {
@@ -84,6 +98,19 @@ impl EriEngine {
 
     pub fn prim_quartets_computed(&self) -> u64 {
         self.prim_quartets
+    }
+
+    /// Shell quartets evaluated per class slot; index with
+    /// [`crate::kernels::class_index`] / label with
+    /// [`crate::kernels::CLASS_LABELS`].
+    pub fn class_counts(&self) -> &[u64; N_CLASS_SLOTS] {
+        &self.class_quartets
+    }
+
+    /// Shell quartets that ran a specialized kernel (all slots but the
+    /// generic fallback).
+    pub fn spec_quartets_computed(&self) -> u64 {
+        self.class_quartets[..GENERIC_SLOT].iter().sum()
     }
 
     /// Evaluate the full contracted quartet `(ab|cd)` into `out`, which must
@@ -120,6 +147,39 @@ impl EriEngine {
         assert_eq!(out.len(), bra.a.n_fn * nb * nc * nd, "output buffer has wrong length");
         out.iter_mut().for_each(|x| *x = 0.0);
         self.shell_quartets += 1;
+        let (slot, run) =
+            self.kernels.eval_classed(self.use_kernels, bra, ket, self.prefactor_cutoff, out);
+        self.class_quartets[slot] += 1;
+        self.prim_quartets += run.prim_quartets;
+    }
+}
+
+/// The generic McMurchie–Davidson path: one loop nest for every
+/// angular-momentum class, with runtime bounds and dense scratch. This is
+/// the reference implementation the specialized kernels are differentially
+/// tested against, and the fallback for classes beyond
+/// [`crate::kernels::SPEC_LMAX`] (f shells and up).
+#[derive(Default)]
+pub struct GenericKernel {
+    /// Stage-1 intermediate `W[tuv_flat * ncd + cd]`, per ket block pair.
+    w: Vec<f64>,
+    /// Stage-2 per-bra-component accumulator (ncd elements).
+    acc: Vec<f64>,
+    /// Reusable Hermite Coulomb table (one rebuild per primitive quartet).
+    r: RTable,
+}
+
+impl EriKernel for GenericKernel {
+    fn eval(
+        &mut self,
+        bra: &ShellPair,
+        ket: &ShellPair,
+        prefactor_cutoff: f64,
+        out: &mut [f64],
+    ) -> KernelRun {
+        let (nb, nc, nd) = (bra.b.n_fn, ket.a.n_fn, ket.b.n_fn);
+        debug_assert_eq!(out.len(), bra.a.n_fn * nb * nc * nd);
+        let mut prim_quartets = 0u64;
 
         let l_bra = bra.l_sum;
         let l_ket = ket.l_sum;
@@ -134,10 +194,10 @@ impl EriEngine {
                 let p = bt.p;
                 let q = kt.p;
                 let base = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt());
-                if (base * bt.k * kt.k * coef_bound).abs() < self.prefactor_cutoff {
+                if (base * bt.k * kt.k * coef_bound).abs() < prefactor_cutoff {
                     continue;
                 }
-                self.prim_quartets += 1;
+                prim_quartets += 1;
                 let alpha = p * q / (p + q);
                 // One R table per primitive quartet, reused by every block
                 // combination.
@@ -275,6 +335,7 @@ impl EriEngine {
                 }
             }
         }
+        KernelRun { prim_quartets }
     }
 }
 
@@ -487,6 +548,57 @@ mod tests {
                 assert!((v1 - v2).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn specialized_kernels_match_generic_bitwise() {
+        // The kernel layer's design contract is exact arithmetic replay, so
+        // parity here is bitwise (not just 1e-14): any FP reordering in
+        // either path trips this immediately.
+        let shells = [
+            prim_shell(0, 1.2, [0.0, 0.0, 0.0]),
+            prim_shell(1, 0.8, [1.0, 0.0, 0.5]),
+            prim_shell(2, 0.6, [-0.5, 0.8, 0.0]),
+            prim_shell(2, 1.3, [0.3, -0.9, 1.2]),
+        ];
+        let mut spec = EriEngine::new();
+        let mut generic = EriEngine::generic_only();
+        for a in &shells {
+            for b in &shells {
+                for c in &shells {
+                    for d in &shells {
+                        let vs = quartet(&mut spec, a, b, c, d);
+                        let vg = quartet(&mut generic, a, b, c, d);
+                        for (x, y) in vs.iter().zip(&vg) {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "kernel path diverges from generic: {x:e} vs {y:e}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(spec.spec_quartets_computed() > 0);
+        assert_eq!(generic.spec_quartets_computed(), 0);
+    }
+
+    #[test]
+    fn class_counters_track_dispatch() {
+        let s = prim_shell(0, 1.0, [0.0; 3]);
+        let d = prim_shell(2, 0.7, [0.4, 0.0, -0.2]);
+        let f = prim_shell(3, 0.5, [0.1, 0.3, 0.0]);
+        let mut e = EriEngine::new();
+        let _ = quartet(&mut e, &s, &s, &s, &s); // (0,0)
+        let _ = quartet(&mut e, &d, &d, &s, &s); // (4,0)
+        let _ = quartet(&mut e, &f, &f, &s, &s); // l_bra = 6 -> generic
+        let counts = e.class_counts();
+        assert_eq!(counts[crate::kernels::class_index(0, 0)], 1);
+        assert_eq!(counts[crate::kernels::class_index(4, 0)], 1);
+        assert_eq!(counts[crate::kernels::GENERIC_SLOT], 1);
+        assert_eq!(e.spec_quartets_computed(), 2);
+        assert_eq!(e.shell_quartets_computed(), 3);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`one_electron`] — overlap, kinetic and nuclear-attraction matrices;
 //! * [`eri`] — contracted two-electron repulsion integrals over shell
 //!   quartets, the quantity Algorithms 1–3 of the paper parallelize over;
+//! * [`kernels`] — class-specialized, batched ERI kernels (monomorphized
+//!   per combined bra/ket angular momentum, structure-of-arrays primitive
+//!   batching), differentially tested against the generic recursion;
 //! * [`screening`] — Cauchy–Schwarz bounds `Q_ij = sqrt((ij|ij))`, the
 //!   screening the paper applies at both the `ij`-task and `ijkl`-quartet
 //!   level, plus survivor-count statistics that drive the cluster
@@ -28,12 +31,17 @@ pub mod boys;
 pub mod cart;
 pub mod eri;
 pub mod hermite;
+pub mod kernels;
 pub mod one_electron;
 pub mod rints;
 pub mod screening;
 pub mod shell_pairs;
 
-pub use eri::EriEngine;
+pub use eri::{EriEngine, GenericKernel};
+pub use kernels::{
+    class_index, ClassKernels, EriKernel, KernelRun, CLASS_LABELS, CLASS_TRACE_NAMES, GENERIC_SLOT,
+    N_CLASS_SLOTS, N_SPEC, SPEC_LMAX,
+};
 pub use one_electron::{
     dipole_matrices, kinetic_matrix, nuclear_attraction_matrix, overlap_matrix,
 };

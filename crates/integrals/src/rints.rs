@@ -45,62 +45,20 @@ impl RTable {
 
     /// Recompute the table in place (see [`RTable::build`] for parameters).
     pub fn rebuild(&mut self, l_total: usize, alpha: f64, x: f64, y: f64, z: f64) {
-        let dim = l_total + 1;
-        self.dim = dim;
         let r2 = x * x + y * y + z * z;
         self.fm.clear();
         self.fm.resize(l_total + 1, 0.0);
         boys(alpha * r2, &mut self.fm);
+        self.rebuild_with_fm(l_total, alpha, x, y, z);
+    }
 
-        // aux[n][t][u][v]; we fold n into a rolling pair of buffers, highest
-        // order first. At step n we can compute entries with t+u+v <= l_total - n.
-        let vol = dim * dim * dim;
-        let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
-        let mut prev = std::mem::take(&mut self.data); // order n + 1
-        let mut cur = std::mem::take(&mut self.aux); // order n
-        if prev.len() < vol {
-            prev.resize(vol, 0.0);
-        }
-        if cur.len() < vol {
-            cur.resize(vol, 0.0);
-        }
-        for n in (0..=l_total).rev() {
-            cur.iter_mut().for_each(|c| *c = 0.0);
-            cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * self.fm[n];
-            let reach = l_total - n;
-            // Fill by increasing total order so dependencies are ready.
-            for total in 1..=reach {
-                for t in 0..=total {
-                    for u in 0..=(total - t) {
-                        let v = total - t - u;
-                        let val = if t > 0 {
-                            let mut w = x * prev[idx(t - 1, u, v)];
-                            if t > 1 {
-                                w += (t - 1) as f64 * prev[idx(t - 2, u, v)];
-                            }
-                            w
-                        } else if u > 0 {
-                            let mut w = y * prev[idx(t, u - 1, v)];
-                            if u > 1 {
-                                w += (u - 1) as f64 * prev[idx(t, u - 2, v)];
-                            }
-                            w
-                        } else {
-                            let mut w = z * prev[idx(t, u, v - 1)];
-                            if v > 1 {
-                                w += (v - 1) as f64 * prev[idx(t, u, v - 2)];
-                            }
-                            w
-                        };
-                        cur[idx(t, u, v)] = val;
-                    }
-                }
-            }
-            std::mem::swap(&mut prev, &mut cur);
-        }
-        // After the loop the n = 0 slice lives in `prev`.
-        self.data = prev;
-        self.aux = cur;
+    /// Recompute the table from already-evaluated Boys values in `self.fm`
+    /// (`fm[n] = F_n(alpha * R^2)`, `n <= l_total`). This is the entry point
+    /// the batched kernels use after a [`crate::boys::boys_batch`] pass; the
+    /// recursion is byte-identical to [`RTable::rebuild`]'s.
+    fn rebuild_with_fm(&mut self, l_total: usize, alpha: f64, x: f64, y: f64, z: f64) {
+        self.dim = l_total + 1;
+        fill_r0_into(l_total, alpha, x, y, z, &self.fm, &mut self.data, &mut self.aux, true);
     }
 
     /// `R^0_{tuv}`.
@@ -109,6 +67,82 @@ impl RTable {
         debug_assert!(t < self.dim && u < self.dim && v < self.dim);
         self.data[(t * self.dim + u) * self.dim + v]
     }
+}
+
+/// The downward-in-`n` rolling recursion shared by [`RTable`] and the
+/// class-specialized kernels. Fills `prev` (growing it to `(l_total+1)^3` if
+/// needed) with the `n = 0` slice `R^0_{tuv}` at dense-cube index
+/// `(t (l_total+1) + u)(l_total+1) + v`; `cur` is the scratch rolling
+/// buffer. `fm` must hold `F_0..F_{l_total}` of `alpha * R^2`.
+///
+/// Only entries on the simplex `t + u + v <= l_total` are defined. With
+/// `zero_fill` set, every pass clears the whole rolling buffer first, so
+/// off-simplex entries read as 0.0 (the [`RTable`] contract). With it
+/// clear, the recursion writes exactly the entries it later reads — every
+/// read at order `n` touches sums `<= l_total - n - 1`, all written at
+/// order `n + 1` — so the dense cube holds stale values off the simplex.
+/// The kernels use this mode: for the d-heavy classes the per-pass
+/// zero-fill of the `(l+1)^3` cube costs more than the recursion itself,
+/// and no kernel stage reads past the simplex. On-simplex values are
+/// bitwise identical in both modes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_r0_into(
+    l_total: usize,
+    alpha: f64,
+    x: f64,
+    y: f64,
+    z: f64,
+    fm: &[f64],
+    prev: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    zero_fill: bool,
+) {
+    let dim = l_total + 1;
+    let vol = dim * dim * dim;
+    let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
+    if prev.len() < vol {
+        prev.resize(vol, 0.0);
+    }
+    if cur.len() < vol {
+        cur.resize(vol, 0.0);
+    }
+    for n in (0..=l_total).rev() {
+        if zero_fill {
+            cur.iter_mut().for_each(|c| *c = 0.0);
+        }
+        cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * fm[n];
+        let reach = l_total - n;
+        // Fill by increasing total order so dependencies are ready.
+        for total in 1..=reach {
+            for t in 0..=total {
+                for u in 0..=(total - t) {
+                    let v = total - t - u;
+                    let val = if t > 0 {
+                        let mut w = x * prev[idx(t - 1, u, v)];
+                        if t > 1 {
+                            w += (t - 1) as f64 * prev[idx(t - 2, u, v)];
+                        }
+                        w
+                    } else if u > 0 {
+                        let mut w = y * prev[idx(t, u - 1, v)];
+                        if u > 1 {
+                            w += (u - 1) as f64 * prev[idx(t, u - 2, v)];
+                        }
+                        w
+                    } else {
+                        let mut w = z * prev[idx(t, u, v - 1)];
+                        if v > 1 {
+                            w += (v - 1) as f64 * prev[idx(t, u, v - 2)];
+                        }
+                        w
+                    };
+                    cur[idx(t, u, v)] = val;
+                }
+            }
+        }
+        std::mem::swap(prev, cur);
+    }
+    // After the final swap the n = 0 slice lives in `prev`.
 }
 
 #[cfg(test)]

@@ -61,27 +61,131 @@ pub struct PairSide {
     pub blocks: Vec<SideBlock>,
     /// Per-function cartesian normalization factors.
     pub norms: Vec<f64>,
+    /// Per-function angular-block index (function -> position in `blocks`),
+    /// so the class kernels can walk plain function loops and still look up
+    /// the block-level contraction coefficient.
+    pub fn_block: Vec<u8>,
 }
 
 impl PairSide {
     fn new(index: usize, s: &Shell) -> PairSide {
         let mut blocks = Vec::with_capacity(s.blocks.len());
         let mut norms = Vec::with_capacity(s.n_functions());
+        let mut fn_block = Vec::with_capacity(s.n_functions());
         let mut off = 0;
-        for b in &s.blocks {
+        for (bi, b) in s.blocks.iter().enumerate() {
             let comps = components(b.l);
             blocks.push(SideBlock { l: b.l, off, n_comp: comps.len() });
             for &c in comps {
                 norms.push(component_norm(c));
+                fn_block.push(bi as u8);
             }
             off += comps.len();
         }
-        PairSide { shell: index, n_fn: off, max_l: s.max_l(), blocks, norms }
+        PairSide { shell: index, n_fn: off, max_l: s.max_l(), blocks, norms, fn_block }
+    }
+
+    /// Cartesian powers of every function of this side, block-concatenated
+    /// in function order (build-time helper for the sparse Hermite tables).
+    fn powers(&self) -> Vec<(usize, usize, usize)> {
+        self.blocks.iter().flat_map(|b| components(b.l).iter().copied()).collect()
     }
 
     fn heap_bytes(&self) -> usize {
         self.blocks.len() * std::mem::size_of::<SideBlock>()
             + self.norms.len() * std::mem::size_of::<f64>()
+            + self.fn_block.len()
+    }
+}
+
+/// Structure-of-arrays view of a pair's surviving primitive pairs: the
+/// per-quartet prefactor/Boys-argument phase of the class kernels streams
+/// these flat lanes (`p`, product center, `K`) instead of hopping across
+/// [`PrimPair`] structs, which is what lets rustc vectorize it.
+#[derive(Clone, Debug, Default)]
+pub struct PrimSoA {
+    /// Exponent sums, one per surviving primitive pair.
+    pub p: Vec<f64>,
+    /// Product-center coordinates, one lane per axis.
+    pub cx: Vec<f64>,
+    pub cy: Vec<f64>,
+    pub cz: Vec<f64>,
+    /// Gaussian-product prefactors `K = exp(-mu |AB|^2)`.
+    pub k: Vec<f64>,
+}
+
+impl PrimSoA {
+    fn from_prims(prims: &[PrimPair]) -> PrimSoA {
+        PrimSoA {
+            p: prims.iter().map(|pp| pp.p).collect(),
+            cx: prims.iter().map(|pp| pp.center[0]).collect(),
+            cy: prims.iter().map(|pp| pp.center[1]).collect(),
+            cz: prims.iter().map(|pp| pp.center[2]).collect(),
+            k: prims.iter().map(|pp| pp.k).collect(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.p.len() + self.cx.len() + self.cy.len() + self.cz.len() + self.k.len())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+/// Precomputed sparse 3-D Hermite expansion products of one shell pair:
+/// for every (surviving primitive pair, function pair) the nonzero
+/// `E_tau E_nu E_phi` triples, in the exact iteration order of the generic
+/// recursion (see [`crate::hermite::e3_sparse_into`]).
+///
+/// This hoists the triple-nested `E`-table walk — bounds arithmetic, zero
+/// tests, and the three multiplies — from the `O(N^4)` quartet loop into the
+/// `O(N^2)` pair build. The class kernels replay the flat entry list per
+/// quartet; the generic path keeps walking the dense tables.
+#[derive(Clone, Debug, Default)]
+pub struct E3Sparse {
+    /// Hermite orders `[tau, nu, phi]` per entry.
+    tuv: Vec<[u8; 3]>,
+    /// `(E_tau * E_nu) * E_phi` per entry (unsigned, unnormalized).
+    val: Vec<f64>,
+    /// Entry ranges per `(prim, fa, fb)`, flattened
+    /// `(ip * n_fn_a + fa) * n_fn_b + fb`; length `nprim*n_fn_a*n_fn_b + 1`.
+    offsets: Vec<u32>,
+    n_fn_a: usize,
+    n_fn_b: usize,
+}
+
+impl E3Sparse {
+    fn build(prims: &[PrimPair], a: &PairSide, b: &PairSide) -> E3Sparse {
+        let (pa, pb) = (a.powers(), b.powers());
+        let mut tuv = Vec::new();
+        let mut val = Vec::new();
+        let mut offsets = Vec::with_capacity(prims.len() * a.n_fn * b.n_fn + 1);
+        offsets.push(0);
+        for pp in prims {
+            for &ca in &pa {
+                for &cb in &pb {
+                    crate::hermite::e3_sparse_into(
+                        &pp.ex, &pp.ey, &pp.ez, ca, cb, &mut tuv, &mut val,
+                    );
+                    offsets.push(tuv.len() as u32);
+                }
+            }
+        }
+        E3Sparse { tuv, val, offsets, n_fn_a: a.n_fn, n_fn_b: b.n_fn }
+    }
+
+    /// The entries of `(prim ip, function fa of side a, fb of side b)`, in
+    /// generic-recursion iteration order.
+    #[inline]
+    pub fn entries(&self, ip: usize, fa: usize, fb: usize) -> (&[[u8; 3]], &[f64]) {
+        let slot = (ip * self.n_fn_a + fa) * self.n_fn_b + fb;
+        let (lo, hi) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+        (&self.tuv[lo..hi], &self.val[lo..hi])
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tuv.len() * 3
+            + self.val.len() * std::mem::size_of::<f64>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -109,6 +213,10 @@ pub struct ShellPair {
     pub b: PairSide,
     /// Surviving primitive pairs.
     pub prims: Vec<PrimPair>,
+    /// Structure-of-arrays view of `prims` for the class kernels.
+    pub soa: PrimSoA,
+    /// Sparse Hermite triple products per (prim, function pair).
+    pub e3: E3Sparse,
     /// Coefficient products, laid out `[prim][block_a][block_b]`
     /// (see [`ShellPair::coef`]).
     coef: Vec<f64>,
@@ -177,12 +285,16 @@ impl ShellPair {
                 });
             }
         }
+        let soa = PrimSoA::from_prims(&prims);
+        let e3 = E3Sparse::build(&prims, &a, &b);
         ShellPair {
             i,
             j,
             a,
             b,
             prims,
+            soa,
+            e3,
             coef,
             max_coef,
             schwarz: 0.0,
@@ -214,6 +326,8 @@ impl ShellPair {
             .sum();
         etables
             + self.prims.len() * std::mem::size_of::<PrimPair>()
+            + self.soa.heap_bytes()
+            + self.e3.heap_bytes()
             + self.coef.len() * std::mem::size_of::<f64>()
             + self.a.heap_bytes()
             + self.b.heap_bytes()

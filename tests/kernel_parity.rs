@@ -1,0 +1,285 @@
+//! Differential-testing harness for the class-specialized ERI kernels:
+//! every specialized kernel against the generic McMurchie–Davidson path,
+//! over seeded random shell quartets (random centers, exponents,
+//! contraction depths 1–6, every class permutation of {S, P, D, SP}) and
+//! the degenerate configurations that historically break integral codes
+//! (coincident centers, near-zero exponents, zero AB/CD distance).
+//!
+//! Parity is asserted at `<= 1e-14` per integral — the acceptance bound of
+//! ISSUE 9 — but the kernels are *designed* for exact arithmetic replay,
+//! so any observed difference at all is a regression in the making (the
+//! in-crate `specialized_kernels_match_generic_bitwise` test pins the
+//! stronger bitwise contract on a fixed geometry).
+//!
+//! Seeds sweep through `PHI_KERNEL_SEEDS` (comma-separated), the same
+//! pattern the fault matrix uses with `PHI_FAULT_SEEDS`; CI runs four.
+
+use phi_scf::chem::basis::custom_shell;
+use phi_scf::chem::Shell;
+use phi_scf::integrals::EriEngine;
+
+/// Seeds to sweep: `PHI_KERNEL_SEEDS=1,2,3` overrides the built-in pair.
+fn seeds() -> Vec<u64> {
+    match std::env::var("PHI_KERNEL_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim())
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse().unwrap_or_else(|_| {
+                    panic!("PHI_KERNEL_SEEDS must be comma-separated integers, got '{t}'")
+                })
+            })
+            .collect(),
+        Err(_) => vec![7, 19],
+    }
+}
+
+/// Deterministic PRNG (64-bit LCG, top bits), as in tests/property.rs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn unit(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.unit() * n as f64) as usize % n
+    }
+}
+
+/// The shell classes the specialized kernels cover: pure S/P/D blocks and
+/// the Pople composite SP ("L") shell.
+const KINDS: [&str; 4] = ["S", "P", "D", "SP"];
+
+/// A random contracted shell of the given class at the given center with
+/// `depth` primitives (1..=6).
+fn class_shell(rng: &mut Rng, kind: usize, depth: usize, center: [f64; 3]) -> Shell {
+    let exps: Vec<f64> = (0..depth).map(|_| rng.range(0.12, 5.0)).collect();
+    let mut coefs = || -> Vec<f64> {
+        (0..depth)
+            .map(|_| rng.range(0.2, 1.0) * if rng.unit() < 0.3 { -1.0 } else { 1.0 })
+            .collect()
+    };
+    let blocks: Vec<(usize, Vec<f64>)> = match kind {
+        0 => vec![(0, coefs())],
+        1 => vec![(1, coefs())],
+        2 => vec![(2, coefs())],
+        _ => vec![(0, coefs()), (1, coefs())],
+    };
+    custom_shell(0, center, exps, &blocks)
+}
+
+fn rand_center(rng: &mut Rng) -> [f64; 3] {
+    [rng.range(-1.5, 1.5), rng.range(-1.5, 1.5), rng.range(-1.5, 1.5)]
+}
+
+/// `class_shell` at a freshly drawn random center (avoids two simultaneous
+/// `&mut rng` borrows at the call sites).
+fn rand_shell(rng: &mut Rng, kind: usize, depth: usize) -> Shell {
+    let center = rand_center(rng);
+    class_shell(rng, kind, depth, center)
+}
+
+/// Evaluate the quartet on both paths and assert `<= 1e-14` per integral.
+/// Returns the kernel-path values for further checks.
+fn assert_parity(
+    spec: &mut EriEngine,
+    generic: &mut EriEngine,
+    a: &Shell,
+    b: &Shell,
+    c: &Shell,
+    d: &Shell,
+    what: &str,
+) -> Vec<f64> {
+    let len = a.n_functions() * b.n_functions() * c.n_functions() * d.n_functions();
+    let mut vs = vec![0.0; len];
+    let mut vg = vec![0.0; len];
+    spec.shell_quartet(a, b, c, d, &mut vs);
+    generic.shell_quartet(a, b, c, d, &mut vg);
+    for (k, (x, y)) in vs.iter().zip(&vg).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-14,
+            "{what}: element {k} diverges: kernel {x:.17e} vs generic {y:.17e}"
+        );
+    }
+    vs
+}
+
+/// Every class permutation {S,P,D,SP}^4, random geometry/exponents/
+/// contraction per case, per seed. Covers all 16 specialized (l_bra,
+/// l_ket) slots reachable from s/p/SP/d shells, on both bra and ket sides.
+#[test]
+#[allow(clippy::needless_range_loop)] // index drives both shells and labels
+fn all_class_permutations_match_generic() {
+    for seed in seeds() {
+        let mut rng = Rng::new(seed);
+        let mut spec = EriEngine::new();
+        spec.prefactor_cutoff = 0.0;
+        let mut generic = EriEngine::generic_only();
+        generic.prefactor_cutoff = 0.0;
+        for ka in 0..KINDS.len() {
+            for kb in 0..KINDS.len() {
+                for kc in 0..KINDS.len() {
+                    for kd in 0..KINDS.len() {
+                        let depth = 1 + (seed as usize + ka + kb + kc + kd) % 3;
+                        let a = rand_shell(&mut rng, ka, depth);
+                        let b = rand_shell(&mut rng, kb, depth);
+                        let c = rand_shell(&mut rng, kc, depth);
+                        let d = rand_shell(&mut rng, kd, depth);
+                        let what = format!(
+                            "seed {seed}, class {}{}{}{}",
+                            KINDS[ka], KINDS[kb], KINDS[kc], KINDS[kd]
+                        );
+                        assert_parity(&mut spec, &mut generic, &a, &b, &c, &d, &what);
+                    }
+                }
+            }
+        }
+        assert!(spec.spec_quartets_computed() > 0, "no specialized kernel ran");
+        assert_eq!(
+            generic.spec_quartets_computed(),
+            0,
+            "generic_only engine must never dispatch a specialized kernel"
+        );
+    }
+}
+
+/// Deep contractions (depth 6 on every shell) on the heavy classes — the
+/// regime where the survivor-compaction and batched-Boys phases process
+/// hundreds of primitive quartets per shell quartet.
+#[test]
+fn deep_contractions_match_generic() {
+    for seed in seeds() {
+        let mut rng = Rng::new(seed ^ 0xD00D);
+        let mut spec = EriEngine::new();
+        spec.prefactor_cutoff = 0.0;
+        let mut generic = EriEngine::generic_only();
+        generic.prefactor_cutoff = 0.0;
+        for &(ka, kb, kc, kd) in &[(2, 2, 2, 2), (3, 3, 3, 3), (2, 3, 0, 2), (3, 1, 2, 3)] {
+            let a = rand_shell(&mut rng, ka, 6);
+            let b = rand_shell(&mut rng, kb, 6);
+            let c = rand_shell(&mut rng, kc, 6);
+            let d = rand_shell(&mut rng, kd, 6);
+            let what =
+                format!("seed {seed}, deep {}{}{}{}", KINDS[ka], KINDS[kb], KINDS[kc], KINDS[kd]);
+            assert_parity(&mut spec, &mut generic, &a, &b, &c, &d, &what);
+        }
+    }
+}
+
+/// Degenerate configurations: all four shells on one center, zero AB and
+/// CD distances (same-center pairs at different pair centers), and
+/// near-zero exponents. These exercise the `E`-table odd-moment zeros
+/// (the sparse entry lists shrink), the Boys small-argument branch, and
+/// the `T = 0` Hermite recursion.
+#[test]
+fn degenerate_geometries_match_generic() {
+    for seed in seeds() {
+        let mut rng = Rng::new(seed ^ 0xBEEF);
+        let mut spec = EriEngine::new();
+        spec.prefactor_cutoff = 0.0;
+        let mut generic = EriEngine::generic_only();
+        generic.prefactor_cutoff = 0.0;
+        for kind_set in 0..KINDS.len() {
+            // Coincident centers: the full quartet on one point.
+            let origin = [0.3, -0.2, 0.1];
+            let a = class_shell(&mut rng, kind_set, 2, origin);
+            let b = class_shell(&mut rng, (kind_set + 1) % 4, 2, origin);
+            let c = class_shell(&mut rng, (kind_set + 2) % 4, 2, origin);
+            let d = class_shell(&mut rng, (kind_set + 3) % 4, 2, origin);
+            assert_parity(
+                &mut spec,
+                &mut generic,
+                &a,
+                &b,
+                &c,
+                &d,
+                &format!("seed {seed}, coincident centers, kinds from {kind_set}"),
+            );
+
+            // Zero AB and CD distance, nonzero bra-ket separation.
+            let p1 = [0.0, 0.0, 0.0];
+            let p2 = [0.0, 0.0, 1.7];
+            let a = class_shell(&mut rng, kind_set, 3, p1);
+            let b = class_shell(&mut rng, (kind_set + 2) % 4, 3, p1);
+            let c = class_shell(&mut rng, (kind_set + 1) % 4, 3, p2);
+            let d = class_shell(&mut rng, (kind_set + 3) % 4, 3, p2);
+            assert_parity(
+                &mut spec,
+                &mut generic,
+                &a,
+                &b,
+                &c,
+                &d,
+                &format!("seed {seed}, zero AB/CD distance, kinds from {kind_set}"),
+            );
+
+            // Near-zero exponents: extremely diffuse primitives (tiny Boys
+            // arguments, huge prefactors).
+            let diffuse_center = rand_center(&mut rng);
+            let diffuse = custom_shell(
+                0,
+                diffuse_center,
+                vec![1e-6, 0.8],
+                &[(kind_set.min(2), vec![0.7, 0.4])],
+            );
+            let probe = rand_shell(&mut rng, (kind_set + 1) % 4, 2);
+            assert_parity(
+                &mut spec,
+                &mut generic,
+                &diffuse,
+                &probe,
+                &probe,
+                &diffuse,
+                &format!("seed {seed}, near-zero exponent, kind {kind_set}"),
+            );
+        }
+    }
+}
+
+/// The default screened configuration (prefactor cutoff 1e-18) must agree
+/// too: both paths apply the same screen, so the same primitive quartets
+/// survive on each side.
+#[test]
+fn screened_quartets_match_generic() {
+    for seed in seeds() {
+        let mut rng = Rng::new(seed ^ 0xACE);
+        let mut spec = EriEngine::new();
+        let mut generic = EriEngine::generic_only();
+        for case in 0..12 {
+            let (ka, kb, kc, kd) = (rng.index(4), rng.index(4), rng.index(4), rng.index(4));
+            // Mix near and far centers so the screen actually fires.
+            let far = if case % 3 == 0 { 18.0 } else { 1.0 };
+            let (da, db, dc, dd) =
+                (1 + rng.index(3), 1 + rng.index(3), 1 + rng.index(3), 1 + rng.index(3));
+            let a = rand_shell(&mut rng, ka, da);
+            let b = class_shell(&mut rng, kb, db, [far, 0.0, 0.2]);
+            let c = rand_shell(&mut rng, kc, dc);
+            let d = class_shell(&mut rng, kd, dd, [0.0, far, -0.1]);
+            assert_parity(
+                &mut spec,
+                &mut generic,
+                &a,
+                &b,
+                &c,
+                &d,
+                &format!("seed {seed}, screened case {case}"),
+            );
+        }
+        assert_eq!(
+            spec.prim_quartets_computed(),
+            generic.prim_quartets_computed(),
+            "both paths must screen identically"
+        );
+    }
+}

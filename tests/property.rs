@@ -234,7 +234,143 @@ fn eri_pair_cache_matches_on_the_fly() {
     }
 }
 
+/// The class-specialized kernel path must respect the full 8-fold
+/// permutational symmetry of real ERIs, across random class combinations
+/// (s/p/d/SP, contracted): (ab|cd) = (ba|cd) = (ab|dc) = (ba|dc) =
+/// (cd|ab) = (dc|ab) = (cd|ba) = (dc|ba).
+#[test]
+fn eri_kernel_path_eightfold_symmetry() {
+    let mut rng = Rng::new(67);
+    let mut engine = EriEngine::new();
+    engine.prefactor_cutoff = 0.0;
+    for case in 0..24 {
+        let (a, b, c, d) = (
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+        );
+        let (na, nb, nc, nd) = (a.n_functions(), b.n_functions(), c.n_functions(), d.n_functions());
+        let eval = |engine: &mut EriEngine, a: &Shell, b: &Shell, c: &Shell, d: &Shell| {
+            let mut out =
+                vec![0.0; a.n_functions() * b.n_functions() * c.n_functions() * d.n_functions()];
+            engine.shell_quartet(a, b, c, d, &mut out);
+            out
+        };
+        let abcd = eval(&mut engine, &a, &b, &c, &d);
+        let bacd = eval(&mut engine, &b, &a, &c, &d);
+        let abdc = eval(&mut engine, &a, &b, &d, &c);
+        let badc = eval(&mut engine, &b, &a, &d, &c);
+        let cdab = eval(&mut engine, &c, &d, &a, &b);
+        let dcab = eval(&mut engine, &d, &c, &a, &b);
+        let cdba = eval(&mut engine, &c, &d, &b, &a);
+        let dcba = eval(&mut engine, &d, &c, &b, &a);
+        for ia in 0..na {
+            for ib in 0..nb {
+                for ic in 0..nc {
+                    for id in 0..nd {
+                        let want = abcd[((ia * nb + ib) * nc + ic) * nd + id];
+                        let perms = [
+                            ("ba|cd", bacd[((ib * na + ia) * nc + ic) * nd + id]),
+                            ("ab|dc", abdc[((ia * nb + ib) * nd + id) * nc + ic]),
+                            ("ba|dc", badc[((ib * na + ia) * nd + id) * nc + ic]),
+                            ("cd|ab", cdab[((ic * nd + id) * na + ia) * nb + ib]),
+                            ("dc|ab", dcab[((id * nc + ic) * na + ia) * nb + ib]),
+                            ("cd|ba", cdba[((ic * nd + id) * nb + ib) * na + ia]),
+                            ("dc|ba", dcba[((id * nc + ic) * nb + ib) * na + ia]),
+                        ];
+                        for (name, got) in perms {
+                            assert!(
+                                (want - got).abs() < 1e-10 * (1.0 + want.abs()),
+                                "case {case}, ({name}) at ({ia},{ib},{ic},{id}): \
+                                 {want} vs {got}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(engine.spec_quartets_computed() > 0, "kernel path did not dispatch");
+}
+
+/// The Schwarz inequality |(ij|kl)| <= sqrt((ij|ij)) * sqrt((kl|kl)) must
+/// hold element-wise on the specialized kernel path — it is the soundness
+/// basis of every screening layer above the engine.
+#[test]
+fn eri_kernel_path_respects_schwarz_bound() {
+    let mut rng = Rng::new(71);
+    let mut engine = EriEngine::new();
+    engine.prefactor_cutoff = 0.0;
+    for case in 0..24 {
+        let (a, b, c, d) = (
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+            arb_rich_shell(&mut rng),
+        );
+        let (na, nb, nc, nd) = (a.n_functions(), b.n_functions(), c.n_functions(), d.n_functions());
+        let mut abcd = vec![0.0; na * nb * nc * nd];
+        let mut abab = vec![0.0; na * nb * na * nb];
+        let mut cdcd = vec![0.0; nc * nd * nc * nd];
+        engine.shell_quartet(&a, &b, &c, &d, &mut abcd);
+        engine.shell_quartet(&a, &b, &a, &b, &mut abab);
+        engine.shell_quartet(&c, &d, &c, &d, &mut cdcd);
+        for ia in 0..na {
+            for ib in 0..nb {
+                let q_ab = abab[((ia * nb + ib) * na + ia) * nb + ib].max(0.0).sqrt();
+                for ic in 0..nc {
+                    for id in 0..nd {
+                        let q_cd = cdcd[((ic * nd + id) * nc + ic) * nd + id].max(0.0).sqrt();
+                        let v = abcd[((ia * nb + ib) * nc + ic) * nd + id].abs();
+                        assert!(
+                            v <= q_ab * q_cd + 1e-10,
+                            "case {case}, ({ia}{ib}|{ic}{id}): |{v}| > {} * {}",
+                            q_ab,
+                            q_cd
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------ fock --
+
+/// End-to-end differential test: a serial Fock build with the specialized
+/// kernels must match the same build forced down the generic path, element
+/// by element, on a basis that exercises s, p, SP, and d classes.
+#[test]
+fn serial_fock_matches_with_kernels_on_and_off() {
+    use phi_scf::hf::fock::engine::FockContext;
+    use phi_scf::hf::fock::{serial::build_serial, DensitySet};
+    use phi_scf::integrals::Screening;
+
+    let mol = phi_scf::chem::geom::small::water();
+    let basis = BasisSet::build(&mol, BasisName::B631gd);
+    let pairs = ShellPairs::build(&basis);
+    let screening = Screening::from_pairs(&basis, &pairs);
+    let n = basis.n_basis();
+    let mut rng = Rng::new(73);
+    let d = random_symmetric(&mut rng, n, -0.4, 0.4);
+    let ctx = FockContext::new(&basis, &pairs, &screening, 1e-11);
+    let on = build_serial(&ctx, &DensitySet::Restricted(&d));
+    let off = build_serial(&ctx.with_eri_kernels(false), &DensitySet::Restricted(&d));
+    assert!(
+        on.g.max_abs_diff(&off.g) <= 1e-12,
+        "kernels-on vs kernels-off G diverge: {}",
+        on.g.max_abs_diff(&off.g)
+    );
+    // The kernel build must actually have dispatched specialized classes,
+    // and the generic build must not have.
+    assert!(on.stats.eri_spec_quartets() > 0);
+    assert_eq!(off.stats.eri_spec_quartets(), 0);
+    assert_eq!(
+        on.stats.quartets_computed, off.stats.quartets_computed,
+        "both paths must screen identically"
+    );
+}
 
 #[test]
 fn g_build_is_linear_and_symmetric() {
